@@ -1,0 +1,215 @@
+package qpgc
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (Section 6), each delegating to the corresponding
+// driver in internal/harness at a reduced scale so that
+// `go test -bench=. -benchmem` completes in minutes. Use cmd/qpgcbench for
+// full-scale paper-layout output. Micro-benchmarks for the core operations
+// (compressR, compressB, Match, BFS, incremental maintenance) follow.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/incbisim"
+	"repro/internal/increach"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/reach"
+)
+
+// benchConfig is the scale used by the experiment benchmarks.
+func benchConfig() harness.Config {
+	cfg := harness.QuickConfig()
+	cfg.Scale = 0.15
+	return cfg
+}
+
+func runExperiment(b *testing.B, id string) {
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := e.Run(cfg)
+		if len(tab.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// Table 1: reachability compression ratios (RCaho, RCscc, RCr).
+func BenchmarkTable1CompressRatios(b *testing.B) { runExperiment(b, "table1") }
+
+// Table 2: pattern compression ratio (PCr).
+func BenchmarkTable2CompressRatios(b *testing.B) { runExperiment(b, "table2") }
+
+// Fig 12(a): BFS/BIBFS on G vs Gr.
+func BenchmarkFig12aReachQueries(b *testing.B) { runExperiment(b, "fig12a") }
+
+// Fig 12(b): Match on real-life-like graphs vs compressed.
+func BenchmarkFig12bMatchRealLife(b *testing.B) { runExperiment(b, "fig12b") }
+
+// Fig 12(c): Match on synthetic graphs, |L| = 10 vs 20.
+func BenchmarkFig12cMatchSynthetic(b *testing.B) { runExperiment(b, "fig12c") }
+
+// Fig 12(d): memory of G, Gr and 2-hop indexes.
+func BenchmarkFig12dIndexMemory(b *testing.B) { runExperiment(b, "fig12d") }
+
+// Fig 12(e): incRCM vs compressR under insertions.
+func BenchmarkFig12eIncRCMInsert(b *testing.B) { runExperiment(b, "fig12e") }
+
+// Fig 12(f): incRCM vs compressR under deletions.
+func BenchmarkFig12fIncRCMDelete(b *testing.B) { runExperiment(b, "fig12f") }
+
+// Fig 12(g): incPCM vs compressB vs IncBsim.
+func BenchmarkFig12gIncPCM(b *testing.B) { runExperiment(b, "fig12g") }
+
+// Fig 12(h): incremental querying on G vs maintained Gr.
+func BenchmarkFig12hIncQuery(b *testing.B) { runExperiment(b, "fig12h") }
+
+// Fig 12(i): RCr under densification.
+func BenchmarkFig12iDensification(b *testing.B) { runExperiment(b, "fig12i") }
+
+// Fig 12(j): RCr under power-law growth.
+func BenchmarkFig12jGrowth(b *testing.B) { runExperiment(b, "fig12j") }
+
+// Fig 12(k): PCr under densification.
+func BenchmarkFig12kDensification(b *testing.B) { runExperiment(b, "fig12k") }
+
+// Fig 12(l): PCr under power-law growth.
+func BenchmarkFig12lGrowth(b *testing.B) { runExperiment(b, "fig12l") }
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks of the core operations.
+
+func socialGraph(n, m int) *graph.Graph {
+	return gen.Social(rand.New(rand.NewSource(1)), n, m, 8)
+}
+
+func BenchmarkCompressReachability(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reach.Compress(g)
+	}
+}
+
+func BenchmarkCompressPatternPT(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.CompressWith(g, bisim.EnginePT)
+	}
+}
+
+func BenchmarkCompressPatternNaive(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.CompressWith(g, bisim.EngineNaive)
+	}
+}
+
+func BenchmarkCompressPatternStratified(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bisim.CompressWith(g, bisim.EngineStratified)
+	}
+}
+
+func BenchmarkTarjanSCC(b *testing.B) {
+	g := socialGraph(8000, 48000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Tarjan(g)
+	}
+}
+
+func BenchmarkBFSOriginalVsCompressed(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	c := reach.Compress(g)
+	rng := rand.New(rand.NewSource(2))
+	pairs := gen.RandomNodePairs(rng, g, 256)
+	b.Run("onG", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			queries.Reachable(g, p[0], p[1])
+		}
+	})
+	b.Run("onGr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			u, v := c.Rewrite(p[0], p[1])
+			queries.Reachable(c.Gr, u, v)
+		}
+	})
+}
+
+func BenchmarkMatchOriginalVsCompressed(b *testing.B) {
+	g := socialGraph(3000, 18000)
+	c := bisim.Compress(g)
+	rng := rand.New(rand.NewSource(3))
+	p := gen.Pattern(rng, g, gen.PatternSpec{Nodes: 4, Edges: 4, Lp: 8, K: 3})
+	b.Run("onG", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.Match(g, p)
+		}
+	})
+	b.Run("onGr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.Expand(pattern.Match(c.Gr, p), c)
+		}
+	})
+}
+
+func BenchmarkIncRCMApplyBatch(b *testing.B) {
+	g := socialGraph(3000, 18000)
+	rng := rand.New(rand.NewSource(4))
+	m := increach.New(g.Clone())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := gen.RandomBatch(rng, m.Graph(), 64, 0.5)
+		b.StartTimer()
+		m.Apply(batch)
+		m.Compressed()
+	}
+}
+
+func BenchmarkIncPCMApplyBatch(b *testing.B) {
+	g := socialGraph(3000, 18000)
+	rng := rand.New(rand.NewSource(5))
+	m := incbisim.New(g.Clone())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := gen.RandomBatch(rng, m.Graph(), 64, 0.5)
+		b.StartTimer()
+		m.Apply(batch)
+		m.Compressed()
+	}
+}
+
+func BenchmarkAHOTransitiveReduction(b *testing.B) {
+	g := gen.Citation(rand.New(rand.NewSource(6)), 2000, 12000, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reach.AHOReduce(g)
+	}
+}

@@ -1,0 +1,62 @@
+// Command qpgcbench regenerates the tables and figures of the paper's
+// experimental evaluation (Section 6).
+//
+// Usage:
+//
+//	qpgcbench [-exp id[,id...]|all] [-scale f] [-seed n] [-pairs n] [-list]
+//
+// Experiment ids: table1, table2, fig12a … fig12l. The default scale runs
+// every experiment in seconds-to-minutes on a laptop; absolute timings are
+// not comparable to the paper's 2012 testbed, but every qualitative shape
+// (who wins, by what factor, where crossovers fall) should hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md sizes)")
+		seed  = flag.Int64("seed", 42, "workload seed")
+		pairs = flag.Int("pairs", 200, "reachability query pairs per dataset")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Pairs = *pairs
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "qpgcbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		tab := e.Run(cfg)
+		tab.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small graph, compress it twice (for reachability and
+// for pattern queries), and answer the same queries on G and on Gr with
+// identical, unmodified algorithms.
+package main
+
+import (
+	"fmt"
+
+	qpgc "repro"
+)
+
+func main() {
+	// A tiny org chart: two managers, shared reports, one contractor.
+	g := qpgc.NewGraph()
+	mgr1 := g.AddNodeNamed("Manager")
+	mgr2 := g.AddNodeNamed("Manager")
+	eng1 := g.AddNodeNamed("Engineer")
+	eng2 := g.AddNodeNamed("Engineer")
+	ctr := g.AddNodeNamed("Contractor")
+	g.AddEdge(mgr1, eng1)
+	g.AddEdge(mgr2, eng1)
+	g.AddEdge(mgr1, eng2)
+	g.AddEdge(mgr2, eng2)
+	g.AddEdge(eng1, ctr)
+	g.AddEdge(eng2, ctr)
+
+	fmt.Printf("G:  %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// --- Reachability preserving compression (Section 3) ---------------
+	rc := qpgc.CompressReachability(g)
+	fmt.Printf("Gr (reachability): %d nodes, %d edges (%.0f%% smaller)\n",
+		rc.Gr.NumNodes(), rc.Gr.NumEdges(),
+		100*(1-float64(rc.Gr.Size())/float64(g.Size())))
+
+	// The SAME BFS answers the query on both graphs; only the node ids are
+	// rewritten (the function F, O(1)).
+	u, v := rc.Rewrite(mgr1, ctr)
+	fmt.Printf("QR(mgr1, contractor) on G:  %v\n", qpgc.Reachable(g, mgr1, ctr))
+	fmt.Printf("QR(mgr1, contractor) on Gr: %v  (rewritten to QR(%d,%d))\n",
+		qpgc.Reachable(rc.Gr, u, v), u, v)
+
+	// --- Pattern preserving compression (Section 4) --------------------
+	pc := qpgc.CompressPattern(g)
+	fmt.Printf("Gr (pattern): %d nodes, %d edges\n", pc.Gr.NumNodes(), pc.Gr.NumEdges())
+
+	// Pattern: a Manager who can reach a Contractor within 2 hops.
+	p := qpgc.NewPattern()
+	pm := p.AddNode("Manager")
+	pctr := p.AddNode("Contractor")
+	p.AddEdge(pm, pctr, 2)
+
+	onG := qpgc.Match(g, p)
+	onGr := qpgc.Expand(qpgc.Match(pc.Gr, p), pc) // post-processing P
+	fmt.Printf("match on G:  %d pairs, managers = %v\n", onG.Size(), onG.Sets[pm])
+	fmt.Printf("match via Gr: %d pairs, managers = %v\n", onGr.Size(), onGr.Sets[pm])
+
+	// --- Incremental maintenance (Section 5) ---------------------------
+	m := qpgc.NewReachMaintainer(g.Clone())
+	m.Apply([]qpgc.Update{qpgc.Insertion(ctr, mgr1)}) // contractor now reports back!
+	cu, cv := m.Compressed().Rewrite(ctr, eng2)
+	fmt.Printf("after insert (ctr->mgr1): QR(ctr, eng2) on maintained Gr = %v\n",
+		qpgc.Reachable(m.Compressed().Gr, cu, cv))
+}

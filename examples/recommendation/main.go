@@ -1,0 +1,103 @@
+// Recommendation reproduces Example 1 of the paper: a multi-agent
+// recommendation network with customers (C), book server agents (BSA),
+// music shop agents (MSA) and facilitator agents (FA). A bookstore owner
+// issues the pattern query Qp — find BSAs that reach customers within 2
+// hops, where those customers interact with FAs — and evaluates it on the
+// bisimulation-compressed graph instead of the original.
+//
+// The graph below follows Fig. 2's structure: BSA1/BSA2 both recommend to
+// MSAs and FAs (so they simulate each other and merge in Gr), FA1/FA2
+// interact with customers C1/C2, and FA3/FA4 serve a large interchangeable
+// customer population C3..Ck.
+package main
+
+import (
+	"fmt"
+
+	qpgc "repro"
+)
+
+func main() {
+	const k = 20 // customers C3..Ck
+	g := qpgc.NewGraph()
+
+	bsa1 := g.AddNodeNamed("BSA")
+	bsa2 := g.AddNodeNamed("BSA")
+	msa1 := g.AddNodeNamed("MSA")
+	msa2 := g.AddNodeNamed("MSA")
+	fa1 := g.AddNodeNamed("FA")
+	fa2 := g.AddNodeNamed("FA")
+	fa3 := g.AddNodeNamed("FA")
+	fa4 := g.AddNodeNamed("FA")
+	c1 := g.AddNodeNamed("C")
+	c2 := g.AddNodeNamed("C")
+	var crowd []qpgc.Node
+	for i := 0; i < k-2; i++ {
+		crowd = append(crowd, g.AddNodeNamed("C"))
+	}
+
+	// BSAs recommend to music shops and facilitators.
+	for _, b := range []qpgc.Node{bsa1, bsa2} {
+		g.AddEdge(b, msa1)
+		g.AddEdge(b, msa2)
+		g.AddEdge(b, fa1)
+		g.AddEdge(b, fa2)
+	}
+	// FA1/FA2 interact with customers C1/C2 (both directions).
+	g.AddEdge(fa1, c1)
+	g.AddEdge(c1, fa1)
+	g.AddEdge(fa2, c2)
+	g.AddEdge(c2, fa2)
+	// The customer crowd interacts with FA3/FA4.
+	for _, c := range crowd {
+		g.AddEdge(fa3, c)
+		g.AddEdge(c, fa3)
+		g.AddEdge(fa4, c)
+		g.AddEdge(c, fa4)
+	}
+
+	fmt.Printf("recommendation network: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	// Compress once; answer any number of pattern queries on Gr.
+	pc := qpgc.CompressPattern(g)
+	fmt.Printf("compressed Gr: %d nodes, %d edges (%.0f%% of |G|)\n",
+		pc.Gr.NumNodes(), pc.Gr.NumEdges(),
+		100*float64(pc.Gr.Size())/float64(g.Size()))
+	fmt.Printf("BSA1 and BSA2 merged: %v (they simulate each other)\n",
+		pc.ClassOf(bsa1) == pc.ClassOf(bsa2))
+	fmt.Printf("crowd customers merged: %v (C3..C%d are interchangeable)\n",
+		pc.ClassOf(crowd[0]) == pc.ClassOf(crowd[len(crowd)-1]), k)
+
+	// Qp: BSA ->(<=2 hops) C, C ->(1) FA  — the paper's query.
+	p := qpgc.NewPattern()
+	pb := p.AddNode("BSA")
+	pcn := p.AddNode("C")
+	pf := p.AddNode("FA")
+	p.AddEdge(pb, pcn, 2)
+	p.AddEdge(pcn, pf, 1)
+
+	onG := qpgc.Match(g, p)
+	onGr := qpgc.Match(pc.Gr, p)      // same algorithm, smaller graph
+	expanded := qpgc.Expand(onGr, pc) // post-processing P
+	fmt.Printf("match on G: %d pairs; via Gr: %d class pairs -> %d pairs after P\n",
+		onG.Size(), onGr.Size(), expanded.Size())
+	fmt.Printf("results identical: %v\n", sameSets(onG, expanded))
+	fmt.Printf("potential buyers (C matches): %v\n", expanded.Sets[pcn])
+}
+
+func sameSets(a, b *qpgc.MatchResult) bool {
+	if a.OK != b.OK || len(a.Sets) != len(b.Sets) {
+		return false
+	}
+	for u := range a.Sets {
+		if len(a.Sets[u]) != len(b.Sets[u]) {
+			return false
+		}
+		for i := range a.Sets[u] {
+			if a.Sets[u][i] != b.Sets[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,169 @@
+// Package akindex implements the A(k)-index of Kaushik et al. [15]: an
+// index graph whose nodes are the classes of k-bisimulation (bisimilarity
+// truncated at depth k), one of the structures the paper compares against
+// in Sections 3 and 4.
+//
+// The paper's argument — reproduced by this package's tests — is that such
+// index graphs are NOT query preserving:
+//
+//   - For reachability (Section 3.1, Fig. 4): merging bisimilar nodes can
+//     merge nodes with different descendant sets, so no rewriting of
+//     QR(u,v) over the index graph answers all queries.
+//   - For graph patterns (Section 4.1, Fig. 6): A(1) merges 1-bisimilar
+//     but non-bisimilar nodes, and a pattern with two bound-1 query edges
+//     distinguishes them, so the index graph returns false positives.
+//
+// The A(k)-index is still sound for its intended purpose — incoming path
+// queries of bounded length — and this implementation provides that
+// contract. Following Kaushik et al., classes are formed by BACKWARD
+// k-bisimulation (predecessor-based: nodes are merged when their incoming
+// paths agree up to depth k), which is what makes the paper's
+// counterexamples fire: all B nodes of Fig. 6 share the incoming path A/B
+// and merge, although their subtrees differ.
+package akindex
+
+import (
+	"sort"
+
+	"repro/internal/bisim"
+	"repro/internal/graph"
+)
+
+// Index is an A(k)-index: the quotient of a graph under k-bisimulation.
+type Index struct {
+	// K is the truncation depth.
+	K int
+	// Gr is the index graph: one node per k-bisimulation class, labeled
+	// with the class label, with an edge per witnessed member edge.
+	Gr *graph.Graph
+	// classOf maps data nodes to index nodes.
+	classOf []graph.Node
+	// Members is the inverse mapping.
+	Members [][]graph.Node
+}
+
+// ClassOf returns the index node representing v.
+func (x *Index) ClassOf(v graph.Node) graph.Node { return x.classOf[v] }
+
+// NumClasses returns the number of k-bisimulation classes.
+func (x *Index) NumClasses() int { return len(x.Members) }
+
+// Partition computes the backward k-bisimulation partition of g: the
+// label partition refined k times by predecessor-class signatures. It
+// coarsens full backward bisimulation and coincides with it once k
+// reaches the refinement fixpoint.
+func Partition(g *graph.Graph, k int) *bisim.Partition {
+	n := g.NumNodes()
+	blockOf := make([]int32, n)
+	ids := make(map[graph.Label]int32)
+	var next int32
+	for v := 0; v < n; v++ {
+		l := g.Label(graph.Node(v))
+		id, ok := ids[l]
+		if !ok {
+			id = next
+			next++
+			ids[l] = id
+		}
+		blockOf[v] = id
+	}
+	scratch := make([]int32, 0, 16)
+	for round := 0; round < k; round++ {
+		sigIDs := make(map[string]int32)
+		nxt := make([]int32, n)
+		var count int32
+		for v := 0; v < n; v++ {
+			scratch = scratch[:0]
+			for _, w := range g.Predecessors(graph.Node(v)) {
+				scratch = append(scratch, blockOf[w])
+			}
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			buf := make([]byte, 0, 4+4*len(scratch))
+			buf = appendInt32(buf, blockOf[v])
+			prev := int32(-1)
+			for _, b := range scratch {
+				if b != prev {
+					buf = appendInt32(buf, b)
+					prev = b
+				}
+			}
+			id, ok := sigIDs[string(buf)]
+			if !ok {
+				id = count
+				count++
+				sigIDs[string(buf)] = id
+			}
+			nxt[v] = id
+		}
+		stable := count == next
+		blockOf = nxt
+		next = count
+		if stable {
+			break // reached the full bisimulation early
+		}
+	}
+	return partitionOf(blockOf)
+}
+
+// Build constructs the A(k)-index of g.
+func Build(g *graph.Graph, k int) *Index {
+	p := Partition(g, k)
+	gr := graph.New(g.Labels())
+	for b := 0; b < p.NumBlocks(); b++ {
+		gr.AddNode(g.Label(p.Blocks[b][0]))
+	}
+	g.Edges(func(u, v graph.Node) bool {
+		gr.AddEdge(p.BlockOf[u], p.BlockOf[v])
+		return true
+	})
+	return &Index{K: k, Gr: gr, classOf: p.BlockOf, Members: p.Blocks}
+}
+
+// PathExists reports whether some member of the class of u could have an
+// outgoing path whose i-th node carries labels[i], judged on the index
+// graph. Navigation over any quotient is complete (real paths are never
+// missed) but may overapproximate — the index-graph limitation the
+// paper's counterexamples exploit.
+func (x *Index) PathExists(u graph.Node, labels []graph.Label) bool {
+	frontier := map[graph.Node]bool{x.classOf[u]: true}
+	for _, want := range labels {
+		next := make(map[graph.Node]bool)
+		for c := range frontier {
+			for _, d := range x.Gr.Successors(c) {
+				if x.Gr.Label(d) == want {
+					next[d] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		frontier = next
+	}
+	return true
+}
+
+func partitionOf(blockOf []int32) *bisim.Partition {
+	n := len(blockOf)
+	rawToCanon := make(map[int32]int32)
+	canon := make([]int32, n)
+	var next int32
+	for v := 0; v < n; v++ {
+		id, ok := rawToCanon[blockOf[v]]
+		if !ok {
+			id = next
+			next++
+			rawToCanon[blockOf[v]] = id
+		}
+		canon[v] = id
+	}
+	blocks := make([][]graph.Node, next)
+	for v := 0; v < n; v++ {
+		blocks[canon[v]] = append(blocks[canon[v]], graph.Node(v))
+	}
+	return &bisim.Partition{BlockOf: canon, Blocks: blocks}
+}
+
+func appendInt32(buf []byte, v int32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}

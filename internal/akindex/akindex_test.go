@@ -1,0 +1,266 @@
+package akindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bisim"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/reach"
+)
+
+func labeledGraph(labels []string, edges [][2]graph.Node) *graph.Graph {
+	g := graph.New(nil)
+	for _, l := range labels {
+		g.AddNodeNamed(l)
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func randomLabeled(rng *rand.Rand, n, m, nlabels int) *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNodeNamed(string(rune('A' + rng.Intn(nlabels))))
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return g
+}
+
+// reversed returns g with every edge flipped.
+func reversed(g *graph.Graph) *graph.Graph {
+	r := graph.New(g.Labels())
+	for v := 0; v < g.NumNodes(); v++ {
+		r.AddNode(g.Label(graph.Node(v)))
+	}
+	g.Edges(func(u, v graph.Node) bool {
+		r.AddEdge(v, u)
+		return true
+	})
+	return r
+}
+
+// TestAkCoarsensTowardsBisim: A(0) is the label partition; A(k) refines
+// monotonically and converges to the maximum BACKWARD bisimulation (the
+// forward bisimulation of the reversed graph).
+func TestAkCoarsensTowardsBisim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := randomLabeled(rng, n, rng.Intn(3*n), 3)
+		full := bisim.RefineNaive(reversed(g))
+		prev := Partition(g, 0)
+		for k := 1; k <= n+1; k++ {
+			cur := Partition(g, k)
+			// Monotone refinement: cur refines prev.
+			for v := 0; v < n; v++ {
+				for w := 0; w < n; w++ {
+					if cur.BlockOf[v] == cur.BlockOf[w] && prev.BlockOf[v] != prev.BlockOf[w] {
+						return false
+					}
+				}
+			}
+			prev = cur
+		}
+		// At k >= |V| the refinement has converged to the full bisimulation.
+		return prev.Same(full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperSection3Counterexample encodes the paper's Fig. 4 argument: in
+// G2, C1 and C2 are bisimilar (each has an E child) and thus merged by a
+// bisimulation-based index, but C2 reaches E2 while C1 does not — so no
+// rewriting of QR(C1,E2) over the index graph can be correct, whereas the
+// reachability preserving compression keeps them apart.
+func TestPaperSection3Counterexample(t *testing.T) {
+	// C1 -> E1, C2 -> E1, C2 -> E2.
+	g := labeledGraph([]string{"C", "C", "E", "E"},
+		[][2]graph.Node{{0, 2}, {1, 2}, {1, 3}})
+	c1, c2, e2 := graph.Node(0), graph.Node(1), graph.Node(3)
+
+	// Sanity: ground truth differs for the two C nodes.
+	if queries.Reachable(g, c1, e2) || !queries.Reachable(g, c2, e2) {
+		t.Fatal("ground truth wrong")
+	}
+
+	// A large-k index = full bisimulation: C1 and C2 merged.
+	x := Build(g, 4)
+	if x.ClassOf(c1) != x.ClassOf(c2) {
+		t.Fatal("bisimilar C nodes should merge in the index graph")
+	}
+	// Hence the index graph cannot distinguish QR(C1,E2) from QR(C2,E2):
+	// both rewrite to the same index query, but the true answers differ.
+	cu := x.ClassOf(c1)
+	ce := x.ClassOf(e2)
+	indexAnswer := queries.Reachable(x.Gr, cu, ce)
+	if indexAnswer == queries.Reachable(g, c1, e2) && indexAnswer == queries.Reachable(g, c2, e2) {
+		t.Fatal("impossible: one index answer matched two different truths")
+	}
+
+	// The reachability preserving compression keeps C1 and C2 apart and
+	// answers both queries correctly.
+	rc := reach.Compress(g)
+	if rc.ClassOf(c1) == rc.ClassOf(c2) {
+		t.Fatal("reach compression must separate C1 and C2")
+	}
+	for _, c := range []graph.Node{c1, c2} {
+		u, v := rc.Rewrite(c, e2)
+		if queries.Reachable(rc.Gr, u, v) != queries.Reachable(g, c, e2) {
+			t.Fatal("reach compression failed to preserve the query")
+		}
+	}
+}
+
+// TestPaperSection4Counterexample encodes the paper's Fig. 6 argument: in
+// G1, nodes A1, A2, A3 are 1-bisimilar (all have only B children) and so
+// A(1) merges them; but the pattern with query edges (B,C) and (B,D), both
+// bound 1, is matched only under some of them. Evaluating on the A(1)
+// index graph yields false positives, while the (full-bisimulation)
+// pattern preserving compression stays exact.
+func TestPaperSection4Counterexample(t *testing.T) {
+	// A1 -> B1 -> {C, D}; A2 -> B2 -> C, A2 -> B3 -> D; A3 -> B4 -> C.
+	g := labeledGraph(
+		[]string{"A", "B", "C", "D", "A", "B", "C", "B", "D", "A", "B", "C"},
+		[][2]graph.Node{
+			{0, 1}, {1, 2}, {1, 3}, // A1's B has both C and D children
+			{4, 5}, {5, 6}, {4, 7}, {7, 8}, // A2's Bs have one each
+			{9, 10}, {10, 11}, // A3's B has only C
+		})
+
+	// The three A nodes are 1-bisimilar: merged by A(1).
+	x := Build(g, 1)
+	if x.ClassOf(0) != x.ClassOf(4) || x.ClassOf(4) != x.ClassOf(9) {
+		t.Fatal("A nodes should be 1-bisimilar")
+	}
+
+	// Pattern: B with both a C child and a D child (bounds 1).
+	p := pattern.New()
+	pb := p.AddNode("B")
+	pc := p.AddNode("C")
+	pd := p.AddNode("D")
+	p.AddEdge(pb, pc, 1)
+	p.AddEdge(pb, pd, 1)
+
+	// Ground truth: only B1 (node 1) matches.
+	onG := pattern.Match(g, p)
+	if !onG.OK || len(onG.Sets[pb]) != 1 || onG.Sets[pb][0] != 1 {
+		t.Fatalf("ground truth: B matches = %v", onG.Sets)
+	}
+
+	// On the A(1) index graph the merged B class matches, and expanding
+	// it yields every B node — false positives, exactly as the paper says.
+	onIdx := pattern.Match(x.Gr, p)
+	if !onIdx.OK {
+		t.Fatal("index graph should (wrongly) match")
+	}
+	expanded := 0
+	for _, cls := range onIdx.Sets[pb] {
+		expanded += len(x.Members[cls])
+	}
+	if expanded <= 1 {
+		t.Fatalf("expected false positives from A(1), got %d B matches", expanded)
+	}
+
+	// Full-bisimulation compression is exact.
+	bc := bisim.Compress(g)
+	exact := pattern.Expand(pattern.Match(bc.Gr, p), bc)
+	if exact.Size() != onG.Size() || !exact.Contains(pb, 1) {
+		t.Fatalf("pattern compression inexact: %v", exact.Sets)
+	}
+	if len(exact.Sets[pb]) != 1 {
+		t.Fatalf("pattern compression has false positives: %v", exact.Sets[pb])
+	}
+}
+
+// TestPathExistsWithinK: the index answers its design queries (label paths
+// of length <= k) exactly.
+func TestPathExistsWithinK(t *testing.T) {
+	g := labeledGraph([]string{"A", "B", "C", "B"},
+		[][2]graph.Node{{0, 1}, {1, 2}, {0, 3}})
+	x := Build(g, 2)
+	lb, _ := g.Labels().Lookup("B")
+	lc, _ := g.Labels().Lookup("C")
+	if !x.PathExists(0, []graph.Label{lb, lc}) {
+		t.Fatal("A -> B -> C path missed")
+	}
+	if x.PathExists(2, []graph.Label{lb}) {
+		t.Fatal("C has no B successor")
+	}
+}
+
+// TestPathExistsComplete: index path navigation never misses a real path
+// (completeness holds for any k; exactness only within k).
+func TestPathExistsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomLabeled(rng, n, rng.Intn(3*n), 2)
+		x := Build(g, 1+rng.Intn(3))
+		// Random walks are real paths; the index must confirm them.
+		for trial := 0; trial < 20; trial++ {
+			v := graph.Node(rng.Intn(n))
+			var labels []graph.Label
+			cur := v
+			for step := 0; step < 4; step++ {
+				succ := g.Successors(cur)
+				if len(succ) == 0 {
+					break
+				}
+				cur = succ[rng.Intn(len(succ))]
+				labels = append(labels, g.Label(cur))
+			}
+			if len(labels) > 0 && !x.PathExists(v, labels) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexGraphSmaller: the index graph never exceeds the original.
+func TestIndexGraphSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomLabeled(rng, n, rng.Intn(3*n), 3)
+		for _, k := range []int{0, 1, 2, 5} {
+			x := Build(g, k)
+			if x.Gr.NumNodes() > g.NumNodes() || x.Gr.NumEdges() > g.NumEdges() {
+				t.Fatalf("k=%d index grew the graph", k)
+			}
+			if err := x.Gr.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestAkSmallerKCoarser: fewer refinement rounds never yield more classes.
+func TestAkSmallerKCoarser(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomLabeled(rng, n, rng.Intn(3*n), 3)
+		prev := -1
+		for _, k := range []int{0, 1, 2, 4, 8} {
+			nc := Build(g, k).NumClasses()
+			if prev != -1 && nc < prev {
+				t.Fatalf("A(%d) has fewer classes (%d) than a coarser index (%d)", k, nc, prev)
+			}
+			prev = nc
+		}
+	}
+}

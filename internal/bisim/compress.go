@@ -1,0 +1,87 @@
+package bisim
+
+import (
+	"repro/internal/graph"
+)
+
+// Compressed is the result of graph pattern preserving compression
+// (Section 4.1): the quotient Gr of G under the maximum bisimulation Rb,
+// together with the node mapping R and the inverse member index used by
+// the post-processing function P.
+type Compressed struct {
+	// Gr is the compressed graph: one node per bisimulation class, labeled
+	// with the common label of its members, with an edge ([v],[w]) whenever
+	// some member edge (v',w') exists — including self-loops when a class
+	// has internal edges (compressB, Fig. 7, lines 7–9).
+	Gr *graph.Graph
+	// blockOf maps each node of G to its class node in Gr (the mapping R).
+	blockOf []graph.Node
+	// Members lists the original nodes of each class (inverse index).
+	Members [][]graph.Node
+}
+
+// ClassOf returns R(v), the Gr node representing v.
+func (c *Compressed) ClassOf(v graph.Node) graph.Node { return c.blockOf[v] }
+
+// NumClasses returns |Vr|.
+func (c *Compressed) NumClasses() int { return len(c.Members) }
+
+// Ratio returns PCr = |Gr| / |G|.
+func (c *Compressed) Ratio(g *graph.Graph) float64 {
+	return float64(c.Gr.Size()) / float64(g.Size())
+}
+
+// Engine selects the partition-refinement algorithm used by Compress.
+type Engine int
+
+const (
+	// EnginePT is Paige–Tarjan, the default (Theorem 4's O(|E| log |V|)).
+	EnginePT Engine = iota
+	// EngineNaive is global signature refinement.
+	EngineNaive
+	// EngineStratified is the DPP rank-stratified algorithm.
+	EngineStratified
+)
+
+// Compress computes the pattern preserving compression R(G) of g
+// (algorithm compressB, Fig. 7) using Paige–Tarjan refinement.
+func Compress(g *graph.Graph) *Compressed { return CompressWith(g, EnginePT) }
+
+// CompressWith is Compress with an explicit choice of refinement engine.
+// All engines produce the identical (maximum bisimulation) partition.
+func CompressWith(g *graph.Graph, e Engine) *Compressed {
+	var p *Partition
+	switch e {
+	case EngineNaive:
+		p = RefineNaive(g)
+	case EngineStratified:
+		p = RefineStratified(g)
+	default:
+		p = RefinePT(g)
+	}
+	return Quotient(g, p)
+}
+
+// Quotient materializes the compressed graph for an arbitrary bisimulation
+// partition p of g. The label table is shared with g: unlike reachability
+// compression, pattern compression must preserve labels.
+func Quotient(g *graph.Graph, p *Partition) *Compressed {
+	numBlocks := p.NumBlocks()
+	gr := graph.New(g.Labels())
+	for b := 0; b < numBlocks; b++ {
+		gr.AddNode(g.Label(p.Blocks[b][0]))
+	}
+	g.Edges(func(u, v graph.Node) bool {
+		gr.AddEdge(p.BlockOf[u], p.BlockOf[v])
+		return true
+	})
+	members := make([][]graph.Node, numBlocks)
+	for b := range p.Blocks {
+		members[b] = append([]graph.Node(nil), p.Blocks[b]...)
+	}
+	return &Compressed{
+		Gr:      gr,
+		blockOf: append([]graph.Node(nil), p.BlockOf...),
+		Members: members,
+	}
+}

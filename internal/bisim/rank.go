@@ -1,0 +1,225 @@
+package bisim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RankNegInf is the rank -∞ assigned to nodes of "bottom" cyclic strongly
+// connected components (case (b) of the paper's rank definition,
+// Section 5.2).
+const RankNegInf = int32(math.MinInt32)
+
+// Ranks holds the bisimulation ranks of Section 5.2: rb(v) stratifies the
+// graph so that bisimilar nodes share a rank (Lemma 9(1)) and a node can
+// only be affected by updates of strictly lower rank (Lemma 9(2)).
+type Ranks struct {
+	// Of maps node -> rank; RankNegInf encodes -∞.
+	Of []int32
+	// WF marks well-founded nodes: nodes that cannot reach any cycle.
+	WF []bool
+	// Max is the largest finite rank (0 when the graph is empty).
+	Max int32
+}
+
+// ComputeRanks evaluates the rank definition of the paper:
+//
+//	rb(v) = 0        if v has no child;
+//	rb(v) = -∞       if vscc has no child in Gscc but v has children;
+//	rb(v) = max( {rb(v')+1 : WF children v'} ∪ {rb(v'') : NWF children v''} )
+//
+// where children range over condensation children (nodes within the same
+// SCC share a rank by construction).
+func ComputeRanks(g *graph.Graph) *Ranks {
+	scc := graph.Tarjan(g)
+	n := scc.NumComponents()
+
+	// Well-foundedness per component: not cyclic and all condensation
+	// children well-founded. Component ids ascend from sinks, so one pass
+	// suffices.
+	wfComp := make([]bool, n)
+	for c := 0; c < n; c++ {
+		wf := !scc.Cyclic[c]
+		if wf {
+			for _, d := range scc.Out[c] {
+				if !wfComp[d] {
+					wf = false
+					break
+				}
+			}
+		}
+		wfComp[c] = wf
+	}
+
+	rankComp := make([]int32, n)
+	for c := 0; c < n; c++ {
+		if len(scc.Out[c]) == 0 {
+			if scc.Cyclic[c] {
+				rankComp[c] = RankNegInf // bottom cycle
+			} else {
+				rankComp[c] = 0 // leaf
+			}
+			continue
+		}
+		r := RankNegInf
+		for _, d := range scc.Out[c] {
+			var cand int32
+			if wfComp[d] {
+				cand = rankComp[d] + 1
+			} else {
+				cand = rankComp[d]
+			}
+			if cand > r {
+				r = cand
+			}
+		}
+		// A cyclic component above only -∞ components keeps -∞; an acyclic
+		// node above only -∞ components has rank 0 per case (c) with the
+		// convention max(∅ of finite)= ... the paper's max over the child
+		// set: children all NWF of rank -∞ gives -∞ for NWF v. For a WF v
+		// that is impossible (WF nodes cannot reach cycles), so no special
+		// case is needed.
+		rankComp[c] = r
+	}
+
+	rk := &Ranks{Of: make([]int32, g.NumNodes()), WF: make([]bool, g.NumNodes())}
+	for v := 0; v < g.NumNodes(); v++ {
+		c := scc.Comp[v]
+		rk.Of[v] = rankComp[c]
+		rk.WF[v] = wfComp[c]
+		if rankComp[c] != RankNegInf && rankComp[c] > rk.Max {
+			rk.Max = rankComp[c]
+		}
+	}
+	return rk
+}
+
+// Strata groups nodes by rank, -∞ first, then ascending finite ranks.
+// The returned slice of slices is ordered for bottom-up processing.
+func (r *Ranks) Strata() [][]graph.Node {
+	byRank := make(map[int32][]graph.Node)
+	for v, rv := range r.Of {
+		byRank[rv] = append(byRank[rv], graph.Node(v))
+	}
+	keys := make([]int32, 0, len(byRank))
+	for k := range byRank {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		// RankNegInf is math.MinInt32, so plain ordering puts -∞ first.
+		return keys[i] < keys[j]
+	})
+	out := make([][]graph.Node, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byRank[k])
+	}
+	return out
+}
+
+// RefineStratified computes the maximum bisimulation with the
+// rank-stratified strategy of Dovier, Piazza and Policriti [8]: process
+// strata bottom-up; within each stratum run signature refinement until
+// stable, treating the (already final) blocks of lower strata as fixed.
+// Nodes of different ranks are never bisimilar (Lemma 9(1)), so the result
+// equals the global maximum bisimulation. This engine is the basis of the
+// incremental algorithm incPCM.
+func RefineStratified(g *graph.Graph) *Partition {
+	rk := ComputeRanks(g)
+	n := g.NumNodes()
+	blockOf := make([]int32, n)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	next := int32(0)
+	for _, stratum := range rk.Strata() {
+		next = refineStratum(g, stratum, blockOf, next)
+	}
+	return newPartition(blockOf)
+}
+
+// refineStratum assigns final block ids to the nodes of one stratum, given
+// final blocks for all lower strata (blockOf == -1 means "this stratum,
+// not yet assigned"). Returns the next free block id. Signatures include
+// same-stratum successor blocks, so the loop iterates to a fixpoint to
+// handle intra-stratum cycles (NWF nodes).
+func refineStratum(g *graph.Graph, stratum []graph.Node, blockOf []int32, next int32) int32 {
+	// Seed: group by label.
+	cur := make(map[graph.Node]int32, len(stratum))
+	labelIDs := make(map[graph.Label]int32)
+	var seed int32
+	for _, v := range stratum {
+		l := g.Label(v)
+		id, ok := labelIDs[l]
+		if !ok {
+			id = seed
+			seed++
+			labelIDs[l] = id
+		}
+		cur[v] = id
+	}
+	numBlocks := seed
+
+	scratch := make([]int64, 0, 16)
+	for {
+		ids := make(map[string]int32)
+		nxt := make(map[graph.Node]int32, len(stratum))
+		var count int32
+		for _, v := range stratum {
+			scratch = scratch[:0]
+			for _, w := range g.Successors(v) {
+				if b := blockOf[w]; b >= 0 {
+					// Finalized lower-stratum block: tag with high bit clear.
+					scratch = append(scratch, int64(b))
+				} else {
+					// Same-stratum successor: use its current local id,
+					// tagged to avoid colliding with global ids.
+					scratch = append(scratch, int64(cur[w])|int64(1)<<40)
+				}
+			}
+			sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+			buf := make([]byte, 0, 8+8*len(scratch))
+			buf = appendInt64(buf, int64(cur[v]))
+			prev := int64(-1)
+			for _, s := range scratch {
+				if s != prev {
+					buf = appendInt64(buf, s)
+					prev = s
+				}
+			}
+			key := string(buf)
+			id, ok := ids[key]
+			if !ok {
+				id = count
+				count++
+				ids[key] = id
+			}
+			nxt[v] = id
+		}
+		stable := count == numBlocks
+		cur = nxt
+		numBlocks = count
+		if stable {
+			break
+		}
+	}
+
+	// Materialize final ids.
+	local := make(map[int32]int32)
+	for _, v := range stratum {
+		id, ok := local[cur[v]]
+		if !ok {
+			id = next
+			next++
+			local[cur[v]] = id
+		}
+		blockOf[v] = id
+	}
+	return next
+}
+
+func appendInt64(buf []byte, v int64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

@@ -1,0 +1,159 @@
+// Package bitset provides dense fixed-capacity bitsets used by the
+// compression algorithms to represent ancestor/descendant sets over
+// condensation nodes and block memberships.
+//
+// The zero value of Set is an empty set of capacity 0; use New to allocate a
+// set able to hold n bits. All operations on two sets require equal capacity
+// unless stated otherwise.
+package bitset
+
+import (
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset backed by a []uint64.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity (number of addressable bits) of the set.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i to 1.
+func (s *Set) Set(i int) {
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool {
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets s to s ∪ t.
+func (s *Set) Or(t *Set) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// And sets s to s ∩ t.
+func (s *Set) And(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// AndNot sets s to s \ t.
+func (s *Set) AndNot(t *Set) {
+	for i, w := range t.words {
+		s.words[i] &^= w
+	}
+}
+
+// Equal reports whether s and t contain exactly the same bits.
+func (s *Set) Equal(t *Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all bits, keeping capacity.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of t (capacities must match).
+func (s *Set) CopyFrom(t *Set) {
+	copy(s.words, t.words)
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Bits returns the indices of all set bits in ascending order.
+func (s *Set) Bits() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Hash returns a 128-bit hash of the set contents as two 64-bit halves.
+// Two equal sets always hash equally; distinct sets collide with negligible
+// probability. The hash is used to group candidate equivalence classes,
+// which are then verified exactly.
+func (s *Set) Hash() (uint64, uint64) {
+	// Two independent FNV-1a style mixes over the words, seeded differently.
+	const (
+		off1   = 14695981039346656037
+		prime1 = 1099511628211
+		off2   = 0x9e3779b97f4a7c15
+		prime2 = 0xff51afd7ed558ccd
+	)
+	h1 := uint64(off1)
+	h2 := uint64(off2)
+	for _, w := range s.words {
+		h1 ^= w
+		h1 *= prime1
+		h2 = (h2 ^ bits.RotateLeft64(w, 31)) * prime2
+		h2 ^= h2 >> 29
+	}
+	return h1, h2
+}
+
+// Words exposes the backing slice for read-only scans (e.g. fast unions in
+// tight loops). Callers must not modify the returned slice.
+func (s *Set) Words() []uint64 { return s.words }

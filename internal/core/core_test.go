@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRatioAndReduction(t *testing.T) {
+	g := graph.New(nil)
+	for i := 0; i < 8; i++ {
+		g.AddNodeNamed("X")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2) // |G| = 10
+	gr := graph.New(nil)
+	gr.AddNodeNamed("X")
+	gr.AddEdge(0, 0) // |Gr| = 2
+	if got := Ratio(g, gr); got != 0.2 {
+		t.Fatalf("Ratio = %v, want 0.2", got)
+	}
+	if got := Reduction(g, gr); got != 80 {
+		t.Fatalf("Reduction = %v, want 80", got)
+	}
+}
+
+func TestRatioEmptyGraph(t *testing.T) {
+	g := graph.New(nil)
+	if got := Ratio(g, g); got != 1 {
+		t.Fatalf("Ratio on empty graph = %v, want 1", got)
+	}
+}

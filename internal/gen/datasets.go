@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Kind is a topology class used to synthesize a stand-in for one of the
+// paper's real-life datasets.
+type Kind int
+
+const (
+	KindSocial Kind = iota
+	KindWeb
+	KindCitation
+	KindP2P
+	KindInternet
+	KindWebCore
+	KindRandom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSocial:
+		return "social"
+	case KindWeb:
+		return "web"
+	case KindCitation:
+		return "citation"
+	case KindP2P:
+		return "p2p"
+	case KindInternet:
+		return "internet"
+	case KindWebCore:
+		return "webcore"
+	default:
+		return "random"
+	}
+}
+
+// Dataset describes one synthetic stand-in for a paper dataset. V and E
+// are the generated sizes (scaled down ~20× from the paper so experiments
+// run on a laptop; see DESIGN.md), L the label count, and Kind the
+// topology class chosen to match the original's structure.
+type Dataset struct {
+	Name   string
+	V, E   int
+	Labels int
+	Kind   Kind
+	// PaperV/PaperE record the original dataset sizes, for the tables.
+	PaperV, PaperE int
+}
+
+// Build synthesizes the dataset deterministically for the given seed.
+func (d Dataset) Build(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	switch d.Kind {
+	case KindSocial:
+		return Social(rng, d.V, d.E, d.Labels)
+	case KindWeb:
+		return Web(rng, d.V, d.E, d.Labels)
+	case KindCitation:
+		return Citation(rng, d.V, d.E, d.Labels)
+	case KindP2P:
+		return P2P(rng, d.V, d.E, d.Labels)
+	case KindInternet:
+		return Internet(rng, d.V, d.E, d.Labels)
+	case KindWebCore:
+		return WebCore(rng, d.V, d.E, d.Labels)
+	default:
+		return ErdosRenyi(rng, d.V, d.E, d.Labels)
+	}
+}
+
+func (d Dataset) String() string {
+	return fmt.Sprintf("%s(|V|=%d,|E|=%d,|L|=%d,%s)", d.Name, d.V, d.E, d.Labels, d.Kind)
+}
+
+// Scale shrinks a dataset uniformly by factor f (for fast test runs).
+func (d Dataset) Scale(f float64) Dataset {
+	s := d
+	s.V = max(2, int(float64(d.V)*f))
+	s.E = max(1, int(float64(d.E)*f))
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ReachabilityDatasets mirrors Table 1's ten datasets (scaled ~20×).
+// Labels are irrelevant to reachability, so each uses a single label.
+func ReachabilityDatasets() []Dataset {
+	return []Dataset{
+		{Name: "facebook", V: 3200, E: 75000, Labels: 1, Kind: KindSocial, PaperV: 64000, PaperE: 1500000},
+		{Name: "amazon", V: 13000, E: 60000, Labels: 1, Kind: KindSocial, PaperV: 262000, PaperE: 1200000},
+		{Name: "Youtube", V: 7750, E: 39800, Labels: 1, Kind: KindSocial, PaperV: 155000, PaperE: 796000},
+		{Name: "wikiVote", V: 1400, E: 20800, Labels: 1, Kind: KindSocial, PaperV: 7000, PaperE: 104000},
+		{Name: "wikiTalk", V: 24000, E: 50000, Labels: 1, Kind: KindSocial, PaperV: 2400000, PaperE: 5000000},
+		{Name: "socEpinions", V: 3800, E: 25450, Labels: 1, Kind: KindSocial, PaperV: 76000, PaperE: 509000},
+		{Name: "NotreDame", V: 16300, E: 75000, Labels: 1, Kind: KindWebCore, PaperV: 326000, PaperE: 1500000},
+		{Name: "P2P", V: 3000, E: 10500, Labels: 1, Kind: KindP2P, PaperV: 6000, PaperE: 21000},
+		{Name: "Internet", V: 5200, E: 10300, Labels: 1, Kind: KindInternet, PaperV: 52000, PaperE: 103000},
+		{Name: "citHepTh", V: 1400, E: 17650, Labels: 1, Kind: KindCitation, PaperV: 28000, PaperE: 353000},
+	}
+}
+
+// PatternDatasets mirrors Table 2's five labeled datasets.
+func PatternDatasets() []Dataset {
+	return []Dataset{
+		{Name: "California", V: 2500, E: 4000, Labels: 95, Kind: KindWeb, PaperV: 10000, PaperE: 16000},
+		{Name: "Internet", V: 5200, E: 10300, Labels: 60, Kind: KindInternet, PaperV: 52000, PaperE: 103000},
+		{Name: "Youtube", V: 7750, E: 39800, Labels: 16, Kind: KindSocial, PaperV: 155000, PaperE: 796000},
+		{Name: "Citation", V: 6300, E: 6330, Labels: 67, Kind: KindCitation, PaperV: 630000, PaperE: 633000},
+		{Name: "P2P", V: 3000, E: 10500, Labels: 1, Kind: KindP2P, PaperV: 6000, PaperE: 21000},
+	}
+}
+
+// DatasetByName returns the named dataset from either registry.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range append(ReachabilityDatasets(), PatternDatasets()...) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,68 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+)
+
+// PatternSpec parameterizes the paper's pattern generator: |Vp| query
+// nodes, |Ep| query edges, labels drawn from the first Lp labels of the
+// data graph's table, and edge bounds drawn uniformly from [1, K]
+// (Section 6, "Pattern generator").
+type PatternSpec struct {
+	Nodes, Edges int
+	Lp           int
+	K            int
+}
+
+// Pattern generates a random connected pattern per the spec. A spanning
+// arborescence over the query nodes guarantees connectivity; remaining
+// edges are uniform. Labels come from g's label table (restricted to the
+// first min(Lp, |L|) labels) so that candidates exist in the data graph.
+func Pattern(rng *rand.Rand, g *graph.Graph, spec PatternSpec) *pattern.Pattern {
+	p := pattern.New()
+	nl := g.Labels().Count()
+	if spec.Lp > 0 && spec.Lp < nl {
+		nl = spec.Lp
+	}
+	if nl == 0 {
+		nl = 1
+		g.Labels().Intern(labelName(0))
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		p.AddNode(g.Labels().Name(graph.Label(rng.Intn(nl))))
+	}
+	bound := func() int {
+		if spec.K <= 0 {
+			return pattern.Unbounded
+		}
+		return 1 + rng.Intn(spec.K)
+	}
+	added := 0
+	// Spanning structure for connectivity.
+	for v := 1; v < spec.Nodes && added < spec.Edges; v++ {
+		u := int32(rng.Intn(v))
+		if rng.Intn(2) == 0 {
+			p.AddEdge(u, int32(v), bound())
+		} else {
+			p.AddEdge(int32(v), u, bound())
+		}
+		added++
+	}
+	for ; added < spec.Edges; added++ {
+		p.AddEdge(int32(rng.Intn(spec.Nodes)), int32(rng.Intn(spec.Nodes)), bound())
+	}
+	return p
+}
+
+// RandomNodePairs samples n (u,v) pairs for reachability query workloads.
+func RandomNodePairs(rng *rand.Rand, g *graph.Graph, n int) [][2]graph.Node {
+	out := make([][2]graph.Node, n)
+	nn := g.NumNodes()
+	for i := range out {
+		out[i] = [2]graph.Node{graph.Node(rng.Intn(nn)), graph.Node(rng.Intn(nn))}
+	}
+	return out
+}

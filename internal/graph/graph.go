@@ -1,0 +1,281 @@
+// Package graph implements the labeled directed graph substrate underlying
+// the query-preserving compression library: node-labeled directed graphs
+// with mutation support, traversal, strongly connected components,
+// condensation and topological ranks.
+//
+// A graph follows the paper's model G = (V, E, L): V is a dense range of
+// node ids [0, N), E ⊆ V×V is a set (no parallel edges; self-loops allowed),
+// and L assigns every node a label drawn from an interned label table.
+// Graph size |G| is defined, as in the paper, as |V| + |E|.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node identifies a node of a Graph. Nodes are dense: a graph with N nodes
+// uses ids 0..N-1.
+type Node = int32
+
+// Label identifies an interned node label.
+type Label = int32
+
+// Labels is an interning table mapping label names to dense Label ids.
+// A Labels table may be shared between a graph and graphs derived from it
+// (e.g. its compressed graph).
+type Labels struct {
+	names []string
+	ids   map[string]Label
+}
+
+// NewLabels returns an empty label table.
+func NewLabels() *Labels {
+	return &Labels{ids: make(map[string]Label)}
+}
+
+// Intern returns the id for name, assigning a fresh id on first use.
+func (l *Labels) Intern(name string) Label {
+	if id, ok := l.ids[name]; ok {
+		return id
+	}
+	id := Label(len(l.names))
+	l.names = append(l.names, name)
+	l.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for name and whether it is known.
+func (l *Labels) Lookup(name string) (Label, bool) {
+	id, ok := l.ids[name]
+	return id, ok
+}
+
+// Name returns the name for id. It panics if id was never assigned.
+func (l *Labels) Name(id Label) string { return l.names[id] }
+
+// Count returns the number of distinct labels interned so far.
+func (l *Labels) Count() int { return len(l.names) }
+
+// Graph is a mutable node-labeled directed graph. Adjacency lists are kept
+// sorted so that edge existence tests are O(log deg) and iteration order is
+// deterministic.
+type Graph struct {
+	labels *Labels
+	label  []Label  // label of each node
+	out    [][]Node // sorted successor lists
+	in     [][]Node // sorted predecessor lists
+	m      int      // number of edges
+}
+
+// New returns an empty graph using the given label table. If labels is nil a
+// fresh table is created.
+func New(labels *Labels) *Graph {
+	if labels == nil {
+		labels = NewLabels()
+	}
+	return &Graph{labels: labels}
+}
+
+// Labels returns the graph's label table.
+func (g *Graph) Labels() *Labels { return g.labels }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.label) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Size returns |G| = |V| + |E|, the size measure used throughout the paper.
+func (g *Graph) Size() int { return len(g.label) + g.m }
+
+// AddNode appends a node with the given label id and returns its id.
+func (g *Graph) AddNode(label Label) Node {
+	v := Node(len(g.label))
+	g.label = append(g.label, label)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return v
+}
+
+// AddNodeNamed appends a node labeled with the interned name and returns its
+// id.
+func (g *Graph) AddNodeNamed(name string) Node {
+	return g.AddNode(g.labels.Intern(name))
+}
+
+// Label returns the label id of v.
+func (g *Graph) Label(v Node) Label { return g.label[v] }
+
+// LabelName returns the label name of v.
+func (g *Graph) LabelName(v Node) string { return g.labels.Name(g.label[v]) }
+
+// SetLabel relabels node v.
+func (g *Graph) SetLabel(v Node, label Label) { g.label[v] = label }
+
+func searchNode(s []Node, v Node) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i, i < len(s) && s[i] == v
+}
+
+func insertNode(s []Node, v Node) ([]Node, bool) {
+	i, ok := searchNode(s, v)
+	if ok {
+		return s, false
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s, true
+}
+
+func removeNode(s []Node, v Node) ([]Node, bool) {
+	i, ok := searchNode(s, v)
+	if !ok {
+		return s, false
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1], true
+}
+
+// HasEdge reports whether edge (u,v) exists.
+func (g *Graph) HasEdge(u, v Node) bool {
+	_, ok := searchNode(g.out[u], v)
+	return ok
+}
+
+// AddEdge inserts the edge (u,v). It returns false if the edge already
+// existed (E is a set).
+func (g *Graph) AddEdge(u, v Node) bool {
+	outs, added := insertNode(g.out[u], v)
+	if !added {
+		return false
+	}
+	g.out[u] = outs
+	g.in[v], _ = insertNode(g.in[v], u)
+	g.m++
+	return true
+}
+
+// RemoveEdge deletes the edge (u,v). It returns false if the edge did not
+// exist.
+func (g *Graph) RemoveEdge(u, v Node) bool {
+	outs, removed := removeNode(g.out[u], v)
+	if !removed {
+		return false
+	}
+	g.out[u] = outs
+	g.in[v], _ = removeNode(g.in[v], u)
+	g.m--
+	return true
+}
+
+// Successors returns the sorted successor list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Successors(v Node) []Node { return g.out[v] }
+
+// Predecessors returns the sorted predecessor list of v. The returned slice
+// is owned by the graph and must not be modified.
+func (g *Graph) Predecessors(v Node) []Node { return g.in[v] }
+
+// OutDegree returns the number of successors of v.
+func (g *Graph) OutDegree(v Node) int { return len(g.out[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *Graph) InDegree(v Node) int { return len(g.in[v]) }
+
+// Edges calls fn for every edge (u,v) in ascending (u,v) order. If fn
+// returns false, iteration stops.
+func (g *Graph) Edges(fn func(u, v Node) bool) {
+	for u := range g.out {
+		for _, v := range g.out[u] {
+			if !fn(Node(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// EdgeList returns all edges as a flat slice of [2]Node pairs in ascending
+// order.
+func (g *Graph) EdgeList() [][2]Node {
+	out := make([][2]Node, 0, g.m)
+	g.Edges(func(u, v Node) bool {
+		out = append(out, [2]Node{u, v})
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph sharing the label table.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		labels: g.labels,
+		label:  append([]Label(nil), g.label...),
+		out:    make([][]Node, len(g.out)),
+		in:     make([][]Node, len(g.in)),
+		m:      g.m,
+	}
+	for i := range g.out {
+		if len(g.out[i]) > 0 {
+			c.out[i] = append([]Node(nil), g.out[i]...)
+		}
+		if len(g.in[i]) > 0 {
+			c.in[i] = append([]Node(nil), g.in[i]...)
+		}
+	}
+	return c
+}
+
+// Validate checks internal invariants (sorted unique adjacency, in/out
+// symmetry, edge count). It is intended for tests and returns a descriptive
+// error on the first violation found.
+func (g *Graph) Validate() error {
+	if len(g.out) != len(g.label) || len(g.in) != len(g.label) {
+		return fmt.Errorf("graph: adjacency length mismatch: %d labels, %d out, %d in",
+			len(g.label), len(g.out), len(g.in))
+	}
+	count := 0
+	for u := range g.out {
+		prev := Node(-1)
+		for _, v := range g.out[u] {
+			if v <= prev {
+				return fmt.Errorf("graph: out[%d] not sorted/unique at %d", u, v)
+			}
+			if int(v) < 0 || int(v) >= len(g.label) {
+				return fmt.Errorf("graph: out[%d] references invalid node %d", u, v)
+			}
+			if _, ok := searchNode(g.in[v], Node(u)); !ok {
+				return fmt.Errorf("graph: edge (%d,%d) missing from in-list", u, v)
+			}
+			prev = v
+			count++
+		}
+	}
+	if count != g.m {
+		return fmt.Errorf("graph: edge count %d != recorded %d", count, g.m)
+	}
+	inCount := 0
+	for v := range g.in {
+		prev := Node(-1)
+		for _, u := range g.in[v] {
+			if u <= prev {
+				return fmt.Errorf("graph: in[%d] not sorted/unique at %d", v, u)
+			}
+			if _, ok := searchNode(g.out[u], Node(v)); !ok {
+				return fmt.Errorf("graph: edge (%d,%d) missing from out-list", u, v)
+			}
+			prev = u
+			inCount++
+		}
+	}
+	if inCount != g.m {
+		return fmt.Errorf("graph: in-edge count %d != recorded %d", inCount, g.m)
+	}
+	return nil
+}
+
+// String returns a compact human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{|V|=%d |E|=%d |L|=%d}", g.NumNodes(), g.NumEdges(), g.labels.Count())
+}

@@ -1,0 +1,188 @@
+package graph
+
+// SCC holds the strongly-connected-component decomposition of a graph and
+// its condensation (the SCC graph Gscc of Section 5 of the paper).
+//
+// Component ids are assigned in reverse topological order: if the
+// condensation has an edge from component a to component b (a != b) then
+// a > b. Equivalently, components listed in ascending id order form a
+// topological order of the condensation from sinks to sources.
+type SCC struct {
+	// Comp maps each node to its component id.
+	Comp []int32
+	// Members lists the nodes of each component.
+	Members [][]Node
+	// Out and In are the deduplicated adjacency lists of the condensation
+	// (no self-loops at the component level).
+	Out, In [][]int32
+	// EdgeSupport counts, for each condensation edge (a,b) with a != b, the
+	// number of member edges (u,v) in E with comp(u)=a, comp(v)=b. Keyed by
+	// packed pair. Used by incremental maintenance.
+	EdgeSupport map[[2]int32]int
+	// Cyclic reports whether a component contains a cycle: it has more than
+	// one member or a self-loop.
+	Cyclic []bool
+}
+
+// NumComponents returns the number of strongly connected components.
+func (s *SCC) NumComponents() int { return len(s.Members) }
+
+// Tarjan computes the strongly connected components of g with an iterative
+// Tarjan algorithm (safe for deep graphs) and returns the decomposition
+// together with the condensation.
+func Tarjan(g *Graph) *SCC {
+	n := g.NumNodes()
+	const undef = int32(-1)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = undef
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = undef
+	}
+	stack := make([]Node, 0, n)
+	var members [][]Node
+
+	// Explicit DFS frames: node plus position in its successor list.
+	type frame struct {
+		v  Node
+		ei int
+	}
+	var next int32
+	frames := make([]frame, 0, 64)
+
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		frames = append(frames[:0], frame{v: Node(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, Node(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			succ := g.out[f.v]
+			if f.ei < len(succ) {
+				w := succ[f.ei]
+				f.ei++
+				if index[w] == undef {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Done with v: pop frame, maybe emit component.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				id := int32(len(members))
+				var ms []Node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					ms = append(ms, w)
+					if w == v {
+						break
+					}
+				}
+				members = append(members, ms)
+			}
+		}
+	}
+
+	s := &SCC{
+		Comp:        comp,
+		Members:     members,
+		Out:         make([][]int32, len(members)),
+		In:          make([][]int32, len(members)),
+		EdgeSupport: make(map[[2]int32]int),
+		Cyclic:      make([]bool, len(members)),
+	}
+	for id, ms := range members {
+		if len(ms) > 1 {
+			s.Cyclic[id] = true
+		}
+	}
+	g.Edges(func(u, v Node) bool {
+		a, b := comp[u], comp[v]
+		if a == b {
+			s.Cyclic[a] = true // self-loop or intra-SCC edge
+			return true
+		}
+		key := [2]int32{a, b}
+		if s.EdgeSupport[key] == 0 {
+			s.Out[a] = append(s.Out[a], b)
+			s.In[b] = append(s.In[b], a)
+		}
+		s.EdgeSupport[key]++
+		return true
+	})
+	return s
+}
+
+// TopoRanks returns the topological rank r of every component of the
+// condensation, per Section 5.1 of the paper: r(S) = 0 if S has no child in
+// Gscc, else max over children r(child)+1. All nodes of an SCC share the
+// rank of their component. Because component ids ascend from sinks to
+// sources, a single pass in id order suffices.
+func (s *SCC) TopoRanks() []int32 {
+	ranks := make([]int32, len(s.Members))
+	for id := 0; id < len(s.Members); id++ {
+		r := int32(0)
+		for _, c := range s.Out[id] {
+			if ranks[c]+1 > r {
+				r = ranks[c] + 1
+			}
+		}
+		ranks[id] = r
+	}
+	return ranks
+}
+
+// NodeTopoRanks expands component ranks to per-node ranks.
+func (s *SCC) NodeTopoRanks() []int32 {
+	cr := s.TopoRanks()
+	out := make([]int32, len(s.Comp))
+	for v, c := range s.Comp {
+		out[v] = cr[c]
+	}
+	return out
+}
+
+// CondensationGraph materializes the condensation as a Graph (every
+// component becomes one node carrying the fixed label 0 of a fresh table).
+// Useful for running generic graph algorithms over Gscc.
+func (s *SCC) CondensationGraph() *Graph {
+	labels := NewLabels()
+	l := labels.Intern("scc")
+	g := New(labels)
+	for range s.Members {
+		g.AddNode(l)
+	}
+	for a := range s.Out {
+		for _, b := range s.Out[a] {
+			g.AddEdge(int32(a), b)
+		}
+	}
+	return g
+}

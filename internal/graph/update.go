@@ -1,0 +1,36 @@
+package graph
+
+// Update is one element of a batch update ΔG: an edge insertion or
+// deletion. The paper's incremental compression problem takes batches of
+// these (Section 5); node insertions/deletions are out of scope, matching
+// the paper.
+type Update struct {
+	From, To Node
+	// Insert selects insertion (true) or deletion (false).
+	Insert bool
+}
+
+// Insertion returns an edge-insertion update.
+func Insertion(u, v Node) Update { return Update{From: u, To: v, Insert: true} }
+
+// Deletion returns an edge-deletion update.
+func Deletion(u, v Node) Update { return Update{From: u, To: v, Insert: false} }
+
+// Apply applies the batch to g in order, skipping no-ops (inserting an
+// existing edge, deleting a missing one). It returns the number of updates
+// that changed the graph.
+func (g *Graph) Apply(batch []Update) int {
+	n := 0
+	for _, u := range batch {
+		if u.Insert {
+			if g.AddEdge(u.From, u.To) {
+				n++
+			}
+		} else {
+			if g.RemoveEdge(u.From, u.To) {
+				n++
+			}
+		}
+	}
+	return n
+}

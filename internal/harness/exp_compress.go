@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/bisim"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/reach"
+)
+
+// Table1 reproduces Table 1: for each of the ten reachability datasets,
+// the compression ratios of the AHO transitive reduction (RCaho), of
+// compressR relative to the SCC graph (RCscc), and of compressR relative
+// to G (RCr).
+func Table1(cfg Config) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Reachability preserving: compression ratio",
+		Header: []string{"dataset", "|G|(|V|,|E|)", "RCaho", "RCscc", "RCr"},
+		Notes: []string{
+			"datasets are synthetic stand-ins for the paper's (DESIGN.md); sizes scaled down",
+			"paper averages: RCaho 45.9%, RCscc 18.0%, RCr 5.0%",
+		},
+	}
+	var sumAho, sumScc, sumR float64
+	for _, d := range gen.ReachabilityDatasets() {
+		d = d.Scale(cfg.Scale)
+		g := d.Build(cfg.Seed)
+		aho := reach.AHOReduce(g)
+		sccC := reach.SCCCompress(g)
+		c := reach.Compress(g)
+		rcAho := core.Ratio(g, aho)
+		rcR := core.Ratio(g, c.Gr)
+		rcScc := float64(c.Gr.Size()) / float64(sccC.Gr.Size())
+		sumAho += rcAho
+		sumScc += rcScc
+		sumR += rcR
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprintf("%d (%d, %d)", g.Size(), g.NumNodes(), g.NumEdges()),
+			pct(rcAho), pct(rcScc), pct(rcR),
+		})
+	}
+	n := float64(len(gen.ReachabilityDatasets()))
+	t.Rows = append(t.Rows, []string{"average", "",
+		pct(sumAho / n), pct(sumScc / n), pct(sumR / n)})
+	return t
+}
+
+// Table2 reproduces Table 2: the pattern preserving compression ratio PCr
+// on the five labeled datasets.
+func Table2(cfg Config) *Table {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Pattern preserving: compression ratio",
+		Header: []string{"dataset", "|G|(|V|,|E|,|L|)", "PCr"},
+		Notes: []string{
+			"paper average: PCr 43% (i.e. graphs reduced by 57%)",
+		},
+	}
+	var sum float64
+	for _, d := range gen.PatternDatasets() {
+		d = d.Scale(cfg.Scale)
+		g := d.Build(cfg.Seed)
+		c := bisim.Compress(g)
+		r := core.Ratio(g, c.Gr)
+		sum += r
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprintf("%d (%d, %d, %d)", g.Size(), g.NumNodes(), g.NumEdges(), g.Labels().Count()),
+			pct(r),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"average", "", pct(sum / float64(len(gen.PatternDatasets())))})
+	return t
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct parses a "12.3%" cell.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig12a", "fig12b", "fig12c", "fig12d",
+		"fig12e", "fig12f", "fig12g", "fig12h", "fig12i", "fig12j", "fig12k", "fig12l"}
+	if len(Experiments()) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(Experiments()), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+	if len(IDs()) != len(want) {
+		t.Fatal("IDs() incomplete")
+	}
+}
+
+func TestTable1ShapesHold(t *testing.T) {
+	tab := Table1(QuickConfig())
+	if len(tab.Rows) != 11 { // 10 datasets + average
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	avg := tab.Rows[len(tab.Rows)-1]
+	rcAho := parsePct(t, avg[2])
+	rcR := parsePct(t, avg[4])
+	// The paper's qualitative claims: RCr is dramatically smaller than the
+	// AHO baseline, and real graphs compress well for reachability.
+	if rcR >= rcAho {
+		t.Fatalf("RCr %.1f%% not better than RCaho %.1f%%", rcR, rcAho)
+	}
+	if rcR > 60 {
+		t.Fatalf("average RCr %.1f%% implausibly high", rcR)
+	}
+}
+
+func TestTable2ShapesHold(t *testing.T) {
+	tab := Table2(QuickConfig())
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	avg := parsePct(t, tab.Rows[len(tab.Rows)-1][2])
+	if avg <= 0 || avg > 100 {
+		t.Fatalf("average PCr %.1f%% out of range", avg)
+	}
+}
+
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale full sweep still takes a few seconds")
+	}
+	cfg := QuickConfig()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(cfg)
+			if tab == nil || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if len(tab.Header) == 0 {
+				t.Fatalf("%s has no header", e.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Header) {
+					t.Fatalf("%s: row width %d != header %d", e.ID, len(row), len(tab.Header))
+				}
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("%s: rendering lacks id", e.ID)
+			}
+		})
+	}
+}
+
+func TestFprintAlignment(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}, Rows: [][]string{{"1", "2"}}}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.HasPrefix(lines[1], "a ") {
+		t.Fatalf("unexpected render: %q", buf.String())
+	}
+}

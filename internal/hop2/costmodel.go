@@ -1,0 +1,13 @@
+package hop2
+
+import "repro/internal/graph"
+
+// GraphMemoryBytes estimates the in-memory footprint of a graph under a
+// simple uniform cost model, used by the Fig. 12(d) memory comparison:
+// each node costs two slice headers (out/in adjacency, 24 bytes each) plus
+// a 4-byte label; each edge costs two 4-byte adjacency entries. The model
+// is deliberately implementation-independent so that G, Gr and the 2-hop
+// indexes are compared on equal terms.
+func GraphMemoryBytes(g *graph.Graph) int64 {
+	return int64(g.NumNodes())*(2*24+4) + int64(g.NumEdges())*8
+}

@@ -1,0 +1,131 @@
+package hop2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/queries"
+	"repro/internal/reach"
+)
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNodeNamed("X")
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return g
+}
+
+func TestIndexChain(t *testing.T) {
+	g := graph.New(nil)
+	for i := 0; i < 5; i++ {
+		g.AddNodeNamed("X")
+	}
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	idx := Build(g)
+	for u := 0; u < 5; u++ {
+		for v := 0; v < 5; v++ {
+			want := u < v
+			if got := idx.Reachable(graph.Node(u), graph.Node(v)); got != want {
+				t.Fatalf("Reachable(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexCycle(t *testing.T) {
+	g := graph.New(nil)
+	for i := 0; i < 3; i++ {
+		g.AddNodeNamed("X")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	idx := Build(g)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if !idx.Reachable(graph.Node(u), graph.Node(v)) {
+				t.Fatalf("cycle: Reachable(%d,%d) = false", u, v)
+			}
+		}
+	}
+}
+
+func TestIndexAgainstBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(35)
+		g := randomGraph(rng, n, rng.Intn(4*n))
+		idx := Build(g)
+		for trial := 0; trial < 60; trial++ {
+			u := graph.Node(rng.Intn(n))
+			v := graph.Node(rng.Intn(n))
+			if idx.Reachable(u, v) != queries.Reachable(g, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIndexOnCompressedGraph checks the paper's generic-compression claim
+// for index structures: building the 2-hop index over Gr and querying
+// rewritten queries gives the same answers as BFS on G.
+func TestIndexOnCompressedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		c := reach.Compress(g)
+		idx := Build(c.Gr)
+		for q := 0; q < 50; q++ {
+			u := graph.Node(rng.Intn(n))
+			v := graph.Node(rng.Intn(n))
+			cu, cv := c.Rewrite(u, v)
+			if idx.Reachable(cu, cv) != queries.Reachable(g, u, v) {
+				t.Fatalf("2-hop on Gr wrong for QR(%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestIndexSmallerOnCompressed(t *testing.T) {
+	// A graph with many equivalent nodes: index on Gr must be much smaller.
+	g := graph.New(nil)
+	for i := 0; i < 40; i++ {
+		g.AddNodeNamed("X")
+	}
+	for i := 0; i < 30; i++ {
+		g.AddEdge(graph.Node(i), 30)
+		g.AddEdge(graph.Node(i), 31)
+	}
+	g.AddEdge(30, 32)
+	g.AddEdge(31, 32)
+	c := reach.Compress(g)
+	big := Build(g)
+	small := Build(c.Gr)
+	if small.MemoryBytes() >= big.MemoryBytes() {
+		t.Fatalf("2-hop(Gr)=%d >= 2-hop(G)=%d bytes", small.MemoryBytes(), big.MemoryBytes())
+	}
+}
+
+func TestEntriesAndMemoryModel(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(1)), 20, 40)
+	idx := Build(g)
+	if idx.Entries() <= 0 {
+		t.Fatal("no label entries")
+	}
+	if idx.MemoryBytes() <= 0 || GraphMemoryBytes(g) <= 0 {
+		t.Fatal("memory model returned nonpositive size")
+	}
+}

@@ -1,0 +1,792 @@
+// Package increach implements incRCM, the incremental maintenance of
+// reachability preserving compression under batch edge updates
+// (Section 5.1 of the paper).
+//
+// The problem is unbounded even for unit updates (Theorem 6), so no
+// algorithm can run in time f(|AFF|); the paper's incRCM runs in
+// O(|AFF|·|Gr|), touching the compressed graph and the affected area but
+// never re-traversing all of G. This maintainer follows that structure:
+//
+//   - It owns the evolving graph and maintains the SCC condensation
+//     incrementally: insertions that close a cycle merge the components on
+//     the new cycle (found by forward/backward search over the condensation
+//     DAG, not over G); intra-component deletions re-decompose only that
+//     component's member subgraph; inter-component deletions decrement
+//     member-edge support counts and drop the condensation edge at zero.
+//   - Redundant updates are reduced exactly (the paper's step 1): an
+//     insertion whose endpoints are already connected and a deletion with a
+//     surviving alternate path leave the transitive closure — and hence the
+//     compression — untouched. Detection uses condensation-level search
+//     only.
+//   - The affected area AFF is the set of components whose strict
+//     ancestor or descendant set changed. It is computed as the
+//     backward/forward cones of the update endpoints over the condensation
+//     DAG (augmented with deleted condensation edges, so shrinkage is
+//     covered too), plus all merged/split components.
+//   - Only AFF components get their (ancestor set, descendant set)
+//     signature recomputed, by BFS over the condensation. They are
+//     regrouped among themselves and matched against surviving classes
+//     filtered by (topological rank, |desc|, |anc|) — Lemma 7 justifies the
+//     rank filter. Non-AFF components keep their classes: their signatures
+//     are unchanged by construction of AFF.
+//
+// Property tests verify after every batch that the maintained compression
+// equals batch recompression (reach.Compress) of the current graph, both
+// as a partition and as a quotient graph.
+package increach
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/reach"
+)
+
+// Stats reports the work of one Apply call.
+type Stats struct {
+	// EffectiveUpdates counts updates that survived no-op reduction.
+	EffectiveUpdates int
+	// RedundantUpdates counts effective updates that provably left the
+	// transitive closure unchanged (the paper's reduced ΔG).
+	RedundantUpdates int
+	// AffComponents is |AFF|: components whose signature was recomputed.
+	AffComponents int
+	// Merges and Splits count SCC structure changes.
+	Merges, Splits int
+}
+
+type sccInfo struct {
+	members []graph.Node
+	out     map[int32]int32 // successor component -> member-edge support
+	in      map[int32]int32
+	cyclic  bool
+	dead    bool
+}
+
+// Maintainer owns an evolving graph and maintains its reachability
+// preserving compression across update batches.
+type Maintainer struct {
+	g      *graph.Graph
+	compOf []int32 // node -> component id
+	sccs   []sccInfo
+
+	classOfScc []int32           // component -> class id
+	classSccs  map[int32][]int32 // class id -> live component ids
+	nextClass  int32
+
+	// Cached signature cardinalities per component; exact for live
+	// components because every component whose sets change is in AFF and
+	// refreshed by regroup.
+	descCount, ancCount []int32
+
+	comp    *reach.Compressed
+	dirtyGr bool
+
+	// visited is reusable traversal scratch over component ids;
+	// visitedNodes over node ids. Both cleaned after every use.
+	visited      []bool
+	visitedNodes []bool
+	visited2     []byte
+}
+
+// New takes ownership of g, compresses it, and returns the maintainer.
+func New(g *graph.Graph) *Maintainer {
+	m := &Maintainer{g: g}
+	m.initFromGraph()
+	return m
+}
+
+// initFromGraph (re)derives all maintained state from m.g. Used at
+// construction and as the large-AFF fallback: when the affected area
+// approaches the whole condensation, batch recomputation (windowed DP,
+// word-parallel) is cheaper than per-component BFS, so the maintainer
+// degrades gracefully to batch cost instead of exceeding it — mirroring
+// how the unboundedness of RCM (Theorem 6) manifests in practice.
+func (m *Maintainer) initFromGraph() {
+	g := m.g
+	m.classSccs = make(map[int32][]int32)
+	m.nextClass = 0
+	s := graph.Tarjan(g)
+	m.compOf = append([]int32(nil), s.Comp...)
+	m.sccs = make([]sccInfo, s.NumComponents())
+	for id := range m.sccs {
+		m.sccs[id] = sccInfo{
+			members: append([]graph.Node(nil), s.Members[id]...),
+			out:     make(map[int32]int32),
+			in:      make(map[int32]int32),
+			cyclic:  s.Cyclic[id],
+		}
+	}
+	for key, support := range s.EdgeSupport {
+		m.sccs[key[0]].out[key[1]] = int32(support)
+		m.sccs[key[1]].in[key[0]] = int32(support)
+	}
+	// Initial classes come from the batch compressor (windowed DP — far
+	// cheaper than per-component BFS), as do the signature cardinalities.
+	c := reach.CompressSCC(g, s)
+	m.comp = c
+	m.dirtyGr = false
+	m.classOfScc = make([]int32, len(m.sccs))
+	for comp := range m.sccs {
+		cls := int32(c.ClassOf(m.sccs[comp].members[0]))
+		m.classOfScc[comp] = cls
+		m.classSccs[cls] = append(m.classSccs[cls], int32(comp))
+	}
+	m.nextClass = int32(c.NumClasses())
+	m.descCount, m.ancCount = reach.SetCounts(s)
+}
+
+// Graph returns the maintained graph; mutate only through Apply.
+func (m *Maintainer) Graph() *graph.Graph { return m.g }
+
+// Compressed returns the current compression R(G), rebuilding the quotient
+// lazily after updates.
+func (m *Maintainer) Compressed() *reach.Compressed {
+	if m.dirtyGr {
+		m.rebuildGr()
+	}
+	return m.comp
+}
+
+// Apply applies ΔG and updates the maintained compression so that it
+// equals R(G ⊕ ΔG).
+func (m *Maintainer) Apply(batch []graph.Update) Stats {
+	var st Stats
+
+	aff := make(map[int32]bool)      // structurally changed components
+	ancSeeds := make(map[int32]bool) // components whose ancestors' desc sets change
+	descSeeds := make(map[int32]bool)
+	var deletedCondEdges [][2]int32 // condensation edges removed this batch
+
+	// Insertion-only batches admit a cheap exact pre-filter against the
+	// start-of-batch compressed graph: reachability is monotone under
+	// insertions, so if R(u) already reaches R(v) in Gr, inserting (u,v)
+	// can never change the transitive closure, no matter how the rest of
+	// the batch interleaves. This is the paper's redundant-update
+	// reduction (incRCM step 1) evaluated on Gr, where it costs a BFS
+	// over the tiny compressed graph instead of the condensation.
+	insertOnly := true
+	for _, up := range batch {
+		if !up.Insert {
+			insertOnly = false
+			break
+		}
+	}
+	var preGr *reach.Compressed
+	if insertOnly && len(batch) > 0 {
+		preGr = m.Compressed()
+	}
+
+	for _, up := range batch {
+		if up.Insert {
+			if preGr != nil && up.From != up.To {
+				cu, cv := preGr.Rewrite(up.From, up.To)
+				if grReachable(preGr.Gr, cu, cv) {
+					if m.g.AddEdge(up.From, up.To) {
+						st.EffectiveUpdates++
+						st.RedundantUpdates++
+						a, b := m.compOf[up.From], m.compOf[up.To]
+						if a != b {
+							m.addSupport(a, b)
+						}
+					}
+					continue
+				}
+			}
+			if !m.g.AddEdge(up.From, up.To) {
+				continue
+			}
+			st.EffectiveUpdates++
+			if m.applyInsert(up.From, up.To, aff, ancSeeds, descSeeds, &st) {
+				st.RedundantUpdates++
+			}
+		} else {
+			if !m.g.RemoveEdge(up.From, up.To) {
+				continue
+			}
+			st.EffectiveUpdates++
+			if m.applyDelete(up.From, up.To, aff, ancSeeds, descSeeds, &deletedCondEdges, &st) {
+				st.RedundantUpdates++
+			}
+		}
+	}
+	if len(aff) == 0 && len(ancSeeds) == 0 && len(descSeeds) == 0 {
+		return st
+	}
+	m.dirtyGr = true
+
+	// Expand seeds into full cones over the condensation DAG, augmented
+	// with this batch's deleted condensation edges so that components that
+	// LOST reachability are covered as well.
+	for _, c := range m.backwardCone(ancSeeds, deletedCondEdges) {
+		aff[c] = true
+	}
+	for _, c := range m.forwardCone(descSeeds, deletedCondEdges) {
+		aff[c] = true
+	}
+
+	affList := make([]int32, 0, len(aff))
+	for c := range aff {
+		if !m.sccs[c].dead {
+			affList = append(affList, c)
+		}
+	}
+	sort.Slice(affList, func(i, j int) bool { return affList[i] < affList[j] })
+	st.AffComponents = len(affList)
+
+	// regroup works within a visit budget; when the affected cones are so
+	// large that batch recomputation is cheaper, it aborts and the
+	// maintainer rebuilds from the graph (the practical face of Theorem
+	// 6's unboundedness).
+	if !m.regroup(affList) {
+		m.initFromGraph()
+	}
+	return st
+}
+
+// applyInsert updates the SCC layer for an inserted edge and records
+// affected-area seeds. It reports whether the update was redundant
+// (closure unchanged).
+func (m *Maintainer) applyInsert(u, v graph.Node, aff, ancSeeds, descSeeds map[int32]bool, st *Stats) bool {
+	a, b := m.compOf[u], m.compOf[v]
+	if a == b {
+		if u == v && !m.sccs[a].cyclic {
+			// Self-loop on a trivial component: it becomes cyclic, which
+			// changes only the pair (u,u) — the component must leave its
+			// trivial class.
+			m.sccs[a].cyclic = true
+			aff[a] = true
+			return false
+		}
+		return true // intra-component edge: closure unchanged
+	}
+	already := m.sccReach(a, b)
+	m.addSupport(a, b)
+	if already {
+		return true // a could already reach b
+	}
+	if m.sccReach(b, a) {
+		// New cycle: merge every component on a path b ⇝ a.
+		merged, safe := m.mergeCycle(a, b)
+		st.Merges++
+		aff[merged] = true
+		if !safe {
+			ancSeeds[merged] = true
+			descSeeds[merged] = true
+		} else {
+			// Safe merges cannot split outside classes, but components
+			// that could newly coarsen with the host's neighbors must
+			// still be re-examined; keep the host's immediate frontier in
+			// AFF (cheap) rather than the full cones.
+			for f := range m.sccs[merged].in {
+				aff[f] = true
+			}
+			for t := range m.sccs[merged].out {
+				aff[t] = true
+			}
+		}
+		return false
+	}
+	ancSeeds[a] = true
+	descSeeds[b] = true
+	aff[a] = true
+	aff[b] = true
+	return false
+}
+
+// applyDelete updates the SCC layer for a deleted edge; see applyInsert.
+func (m *Maintainer) applyDelete(u, v graph.Node, aff, ancSeeds, descSeeds map[int32]bool, deletedCondEdges *[][2]int32, st *Stats) bool {
+	a, b := m.compOf[u], m.compOf[v]
+	if a == b {
+		if u == v {
+			// Self-loop removal.
+			if len(m.sccs[a].members) == 1 {
+				m.sccs[a].cyclic = false
+				aff[a] = true
+			}
+			return len(m.sccs[a].members) > 1
+		}
+		if m.stillConnected(u, v, a) {
+			return true // component survived intact: closure unchanged
+		}
+		parts := m.resplit(a)
+		if len(parts) == 1 {
+			return true // component survived intact
+		}
+		st.Splits++
+		for _, p := range parts {
+			aff[p] = true
+			ancSeeds[p] = true
+			descSeeds[p] = true
+		}
+		return false
+	}
+	left := m.decSupport(a, b)
+	if left > 0 {
+		return true // another member edge keeps the condensation edge
+	}
+	*deletedCondEdges = append(*deletedCondEdges, [2]int32{a, b})
+	if m.sccReach(a, b) {
+		// Alternate path: closure unchanged (see package doc; the DAG
+		// property rules out all alternate paths depending on the deleted
+		// edge).
+		return true
+	}
+	ancSeeds[a] = true
+	descSeeds[b] = true
+	aff[a] = true
+	aff[b] = true
+	return false
+}
+
+// scratch returns the reusable visited slice, grown to the current
+// component count.
+func (m *Maintainer) scratch() []bool {
+	if len(m.visited) < len(m.sccs) {
+		m.visited = make([]bool, len(m.sccs)*2)
+	}
+	return m.visited
+}
+
+// sccReach reports whether component a reaches component b (a != b means
+// via condensation edges; a == b means a is cyclic).
+// sccReach searches bidirectionally, always expanding the smaller
+// frontier: reach checks against a hub component then cost only the size
+// of the small side.
+func (m *Maintainer) sccReach(a, b int32) bool {
+	if a == b {
+		return m.sccs[a].cyclic
+	}
+	if len(m.visited2) < len(m.sccs) {
+		m.visited2 = make([]byte, len(m.sccs)*2)
+	}
+	mark := m.visited2 // 0 unseen, 1 forward, 2 backward
+	stamp := []int32{a, b}
+	mark[a] = 1
+	mark[b] = 2
+	fwd := []int32{a}
+	bwd := []int32{b}
+	found := false
+	for len(fwd) > 0 && len(bwd) > 0 && !found {
+		if len(fwd) <= len(bwd) {
+			var next []int32
+			for _, x := range fwd {
+				for c := range m.sccs[x].out {
+					switch mark[c] {
+					case 2:
+						found = true
+					case 0:
+						mark[c] = 1
+						stamp = append(stamp, c)
+						next = append(next, c)
+					}
+				}
+				if found {
+					break
+				}
+			}
+			fwd = next
+		} else {
+			var next []int32
+			for _, x := range bwd {
+				for c := range m.sccs[x].in {
+					switch mark[c] {
+					case 1:
+						found = true
+					case 0:
+						mark[c] = 2
+						stamp = append(stamp, c)
+						next = append(next, c)
+					}
+				}
+				if found {
+					break
+				}
+			}
+			bwd = next
+		}
+	}
+	for _, c := range stamp {
+		mark[c] = 0
+	}
+	return found
+}
+
+func (m *Maintainer) addSupport(a, b int32) {
+	m.sccs[a].out[b]++
+	m.sccs[b].in[a]++
+}
+
+func (m *Maintainer) decSupport(a, b int32) int32 {
+	m.sccs[a].out[b]--
+	m.sccs[b].in[a]--
+	left := m.sccs[a].out[b]
+	if left <= 0 {
+		delete(m.sccs[a].out, b)
+		delete(m.sccs[b].in, a)
+	}
+	return left
+}
+
+// mergeCycle merges all components on some path b ⇝ a (plus a and b) into
+// one cyclic component and returns its id. Runs entirely on the
+// condensation. The largest member absorbs the others (union-into-largest),
+// so merging a small component into a giant SCC costs only the small
+// side's degree — the common case when social graphs gain edges.
+//
+// The second result reports whether the merge is "safe": at most one
+// merged part has edges from outside the merge set, and at most one has
+// edges to outside. A safe merge cannot change the equivalence grouping of
+// any component outside the merge set, so the affected area collapses to
+// the merged component itself:
+//
+//   - No outside pair can SPLIT under any merge: equal ancestor/descendant
+//     id-sets are transformed identically (merged ids are replaced by the
+//     host id).
+//   - An outside pair can COARSEN only if the two id-sets differed solely
+//     inside the merge set. With a unique entry part q, every outside
+//     ancestor sees the same within-merge reach (the parts reachable from
+//     q), and with a unique exit part e, every outside descendant is
+//     reached by the same parts (those reaching e). Either uniqueness
+//     removes the respective source of intra-merge-set differences, so
+//     differing-only-inside pairs cannot exist.
+//
+// The typical social-network insertion — a previously untouched fan pulled
+// into the giant SCC — is safe, which is what keeps incRCM's per-update
+// work constant-ish there.
+func (m *Maintainer) mergeCycle(a, b int32) (int32, bool) {
+	// Members = forward cone of b ∩ backward cone of a. The backward
+	// search is restricted to the forward cone, so its cost is bounded by
+	// the smaller region (an unrestricted backward search from a giant SCC
+	// would visit every ancestor in the graph).
+	fwd := m.forwardCone(map[int32]bool{b: true}, nil)
+	inF := make(map[int32]bool, len(fwd))
+	for _, c := range fwd {
+		inF[c] = true
+	}
+	members := []int32{a}
+	seen := map[int32]bool{a: true}
+	stack := []int32{a}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for f := range m.sccs[x].in {
+			if inF[f] && !seen[f] {
+				seen[f] = true
+				members = append(members, f)
+				stack = append(stack, f)
+			}
+		}
+	}
+
+	// Host: the member with the largest footprint keeps its identity.
+	host := members[0]
+	hostCost := -1
+	for _, c := range members {
+		cost := len(m.sccs[c].members) + len(m.sccs[c].out) + len(m.sccs[c].in)
+		if cost > hostCost {
+			hostCost = cost
+			host = c
+		}
+	}
+	inMerge := make(map[int32]bool, len(members))
+	for _, c := range members {
+		inMerge[c] = true
+	}
+
+	// Safety analysis on the pre-merge adjacency.
+	entries, exits := 0, 0
+	for _, c := range members {
+		hasEntry, hasExit := false, false
+		for f := range m.sccs[c].in {
+			if !inMerge[f] {
+				hasEntry = true
+				break
+			}
+		}
+		for t := range m.sccs[c].out {
+			if !inMerge[t] {
+				hasExit = true
+				break
+			}
+		}
+		if hasEntry {
+			entries++
+		}
+		if hasExit {
+			exits++
+		}
+	}
+	safe := entries <= 1 && exits <= 1
+
+	h := &m.sccs[host]
+	for _, c := range members {
+		if c == host {
+			continue
+		}
+		old := &m.sccs[c]
+		h.members = append(h.members, old.members...)
+		for _, v := range old.members {
+			m.compOf[v] = host
+		}
+		for t, s := range old.out {
+			if !inMerge[t] {
+				h.out[t] += s
+				m.sccs[t].in[host] += s
+				delete(m.sccs[t].in, c)
+			}
+		}
+		for f, s := range old.in {
+			if !inMerge[f] {
+				h.in[f] += s
+				m.sccs[f].out[host] += s
+				delete(m.sccs[f].out, c)
+			}
+		}
+		m.removeFromClass(c)
+		old.dead = true
+		old.out, old.in, old.members = nil, nil, nil
+		// The host's own references to the absorbed component become
+		// internal edges.
+		delete(h.out, c)
+		delete(h.in, c)
+	}
+	h.cyclic = true
+	m.removeFromClass(host)
+	return host, safe
+}
+
+// stillConnected reports whether u still reaches v inside their (common)
+// component's member subgraph. After deleting an intra-component edge
+// (u,v), the component remains strongly connected iff this holds: paths
+// leaving the component cannot return (the condensation is a DAG), so
+// within-component reachability is decided by member edges alone, and any
+// broken pair must involve the deleted edge's endpoints.
+func (m *Maintainer) stillConnected(u, v graph.Node, comp int32) bool {
+	if u == v {
+		return true
+	}
+	if len(m.visitedNodes) < m.g.NumNodes() {
+		m.visitedNodes = make([]bool, m.g.NumNodes()*2)
+	}
+	seen := m.visitedNodes
+	seen[u] = true
+	stamp := []graph.Node{u}
+	stack := []graph.Node{u}
+	found := false
+	for len(stack) > 0 && !found {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range m.g.Successors(x) {
+			if m.compOf[w] != comp || seen[w] {
+				continue
+			}
+			if w == v {
+				found = true
+				break
+			}
+			seen[w] = true
+			stamp = append(stamp, w)
+			stack = append(stack, w)
+		}
+	}
+	for _, w := range stamp {
+		seen[w] = false
+	}
+	return found
+}
+
+// grReachable is a plain BFS over the (small) compressed graph.
+func grReachable(gr *graph.Graph, u, v graph.Node) bool {
+	seen := make([]bool, gr.NumNodes())
+	stack := []graph.Node{}
+	for _, w := range gr.Successors(u) {
+		if w == v {
+			return true
+		}
+		if !seen[w] {
+			seen[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range gr.Successors(x) {
+			if w == v {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// resplit re-decomposes one component after an internal edge deletion,
+// replacing it with the resulting components. Only the member subgraph is
+// traversed. Returns the new component ids (a single id if intact).
+func (m *Maintainer) resplit(a int32) []int32 {
+	members := m.sccs[a].members
+	idx := make(map[graph.Node]int32, len(members))
+	for i, v := range members {
+		idx[v] = int32(i)
+	}
+	// Local Tarjan on the member-induced subgraph.
+	sub := graph.New(nil)
+	l := sub.Labels().Intern("x")
+	for range members {
+		sub.AddNode(l)
+	}
+	for i, v := range members {
+		for _, w := range m.g.Successors(v) {
+			if j, ok := idx[w]; ok {
+				sub.AddEdge(int32(i), j)
+			}
+		}
+	}
+	s := graph.Tarjan(sub)
+	if s.NumComponents() == 1 {
+		// Intact; cyclic status may still change (e.g. a 1-node component
+		// cannot arise here since a!=b deletions are handled elsewhere).
+		m.sccs[a].cyclic = s.Cyclic[0]
+		return []int32{a}
+	}
+
+	// Allocate new component ids.
+	parts := make([]int32, s.NumComponents())
+	for i := range parts {
+		id := int32(len(m.sccs))
+		parts[i] = id
+		m.sccs = append(m.sccs, sccInfo{
+			out:    make(map[int32]int32),
+			in:     make(map[int32]int32),
+			cyclic: s.Cyclic[i],
+		})
+		m.classOfScc = append(m.classOfScc, -1)
+		m.descCount = append(m.descCount, 0)
+		m.ancCount = append(m.ancCount, 0)
+	}
+	for i, v := range members {
+		id := parts[s.Comp[i]]
+		m.compOf[v] = id
+		m.sccs[id].members = append(m.sccs[id].members, v)
+	}
+	// Internal condensation edges between the parts.
+	for key, support := range s.EdgeSupport {
+		f, t := parts[key[0]], parts[key[1]]
+		m.sccs[f].out[t] += int32(support)
+		m.sccs[t].in[f] += int32(support)
+	}
+	// External edges: recount member edges crossing the old boundary.
+	old := &m.sccs[a]
+	for t, s := range old.out {
+		delete(m.sccs[t].in, a)
+		_ = s
+	}
+	for f, s := range old.in {
+		delete(m.sccs[f].out, a)
+		_ = s
+	}
+	for _, v := range members {
+		cv := m.compOf[v]
+		for _, w := range m.g.Successors(v) {
+			if _, internal := idx[w]; internal {
+				continue
+			}
+			cw := m.compOf[w]
+			m.sccs[cv].out[cw]++
+			m.sccs[cw].in[cv]++
+		}
+		for _, w := range m.g.Predecessors(v) {
+			if _, internal := idx[w]; internal {
+				continue
+			}
+			cw := m.compOf[w]
+			m.sccs[cw].out[cv]++
+			m.sccs[cv].in[cw]++
+		}
+	}
+	m.removeFromClass(a)
+	old.dead = true
+	old.out, old.in, old.members = nil, nil, nil
+	return parts
+}
+
+// forwardCone returns seeds plus everything reachable from them over the
+// condensation (as a node list), additionally traversing the given
+// (already removed) condensation edges.
+func (m *Maintainer) forwardCone(seeds map[int32]bool, extra [][2]int32) []int32 {
+	return m.cone(seeds, extra, true)
+}
+
+func (m *Maintainer) backwardCone(seeds map[int32]bool, extra [][2]int32) []int32 {
+	return m.cone(seeds, extra, false)
+}
+
+func (m *Maintainer) cone(seeds map[int32]bool, extra [][2]int32, forward bool) []int32 {
+	extraAdj := make(map[int32][]int32, len(extra))
+	for _, e := range extra {
+		if forward {
+			extraAdj[e[0]] = append(extraAdj[e[0]], e[1])
+		} else {
+			extraAdj[e[1]] = append(extraAdj[e[1]], e[0])
+		}
+	}
+	seen := m.scratch()
+	var out []int32
+	var stack []int32
+	push := func(c int32) {
+		if !seen[c] && !m.sccs[c].dead {
+			seen[c] = true
+			out = append(out, c)
+			stack = append(stack, c)
+		}
+	}
+	for c := range seeds {
+		if !m.sccs[c].dead {
+			push(c)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj := m.sccs[x].out
+		if !forward {
+			adj = m.sccs[x].in
+		}
+		for c := range adj {
+			push(c)
+		}
+		for _, c := range extraAdj[x] {
+			push(c)
+		}
+	}
+	for _, c := range out {
+		seen[c] = false
+	}
+	return out
+}
+
+func (m *Maintainer) removeFromClass(c int32) {
+	cls := m.classOfScc[c]
+	if cls < 0 {
+		return
+	}
+	list := m.classSccs[cls]
+	for i, x := range list {
+		if x == c {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(m.classSccs, cls)
+	} else {
+		m.classSccs[cls] = list
+	}
+	m.classOfScc[c] = -1
+}

@@ -1,0 +1,222 @@
+package increach
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/reach"
+)
+
+// sccSig is the signature of one condensation node: its strict descendant
+// and ancestor component sets as sorted id slices. Slice representation
+// keeps the cost proportional to the cone size (fan components have
+// near-empty cones), unlike dims-sized bitsets.
+type sccSig struct {
+	desc, anc []int32
+}
+
+func sameIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hashIDs(ids []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range ids {
+		h ^= uint64(uint32(x))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// regroup reassigns equivalence classes for the given (affected) live
+// components; all other components keep their classes, which is sound
+// because AFF contains every component whose signature changed (package
+// doc). It works on a visit budget: if the total BFS work exceeds a small
+// multiple of the condensation size, it aborts and returns false, in which
+// case the caller falls back to batch recomputation (which is cheaper at
+// that point). The state may be partially updated on abort; the fallback
+// rebuilds everything from the graph.
+func (m *Maintainer) regroup(affList []int32) bool {
+	if len(affList) == 0 {
+		return true
+	}
+	budget := 8*len(m.sccs) + 64*len(affList)
+	visits := 0
+
+	collect := func(c int32, forward bool) ([]int32, bool) {
+		seen := m.scratch()
+		var out []int32
+		stack := []int32{c}
+		seen[c] = true
+		ok := true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			adj := m.sccs[x].out
+			if !forward {
+				adj = m.sccs[x].in
+			}
+			for t := range adj {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+					stack = append(stack, t)
+					visits++
+				}
+			}
+			if visits > budget {
+				ok = false
+				break
+			}
+		}
+		seen[c] = false
+		for _, t := range out {
+			seen[t] = false
+		}
+		if !ok {
+			return nil, false
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, true
+	}
+
+	sigOf := func(c int32) (sccSig, bool) {
+		d, ok := collect(c, true)
+		if !ok {
+			return sccSig{}, false
+		}
+		a, ok := collect(c, false)
+		if !ok {
+			return sccSig{}, false
+		}
+		return sccSig{desc: d, anc: a}, true
+	}
+
+	// Phase 1: compute all AFF signatures within budget, before any state
+	// mutation that regrouping itself performs.
+	sigs := make(map[int32]sccSig, len(affList))
+	for _, c := range affList {
+		s, ok := sigOf(c)
+		if !ok {
+			return false
+		}
+		sigs[c] = s
+	}
+
+	// Phase 2: reassign classes.
+	for _, c := range affList {
+		m.removeFromClass(c)
+	}
+	var trivial []int32
+	for _, c := range affList {
+		s := sigs[c]
+		m.descCount[c] = int32(len(s.desc))
+		m.ancCount[c] = int32(len(s.anc))
+		if m.sccs[c].cyclic {
+			id := m.nextClass
+			m.nextClass++
+			m.classOfScc[c] = id
+			m.classSccs[id] = []int32{c}
+		} else {
+			trivial = append(trivial, c)
+		}
+	}
+
+	// Candidate index over surviving trivial classes, keyed by
+	// (|desc|, |anc|) of the class — uniform across members, exact for
+	// non-AFF components (their sets did not change). Lemma 7's rank
+	// filter is subsumed by the cardinality pair.
+	type key struct{ dc, ac int32 }
+	candidates := make(map[key][]int32)
+	for cls, members := range m.classSccs {
+		rep := members[0]
+		if m.sccs[rep].cyclic {
+			continue
+		}
+		k := key{m.descCount[rep], m.ancCount[rep]}
+		candidates[k] = append(candidates[k], cls)
+	}
+	for k := range candidates {
+		sort.Slice(candidates[k], func(i, j int) bool { return candidates[k][i] < candidates[k][j] })
+	}
+
+	repSig := make(map[int32]sccSig)
+	for _, c := range trivial {
+		s := sigs[c]
+		k := key{int32(len(s.desc)), int32(len(s.anc))}
+		assigned := false
+		for _, cls := range candidates[k] {
+			rs, ok := repSig[cls]
+			if !ok {
+				var okSig bool
+				rs, okSig = sigOf(m.classSccs[cls][0])
+				if !okSig {
+					return false
+				}
+				repSig[cls] = rs
+			}
+			if sameIDs(rs.desc, s.desc) && sameIDs(rs.anc, s.anc) {
+				m.classOfScc[c] = cls
+				m.classSccs[cls] = append(m.classSccs[cls], c)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			id := m.nextClass
+			m.nextClass++
+			m.classOfScc[c] = id
+			m.classSccs[id] = []int32{c}
+			candidates[k] = append(candidates[k], id)
+			repSig[id] = s
+		}
+	}
+	return true
+}
+
+// rebuildGr materializes the quotient graph and the Compressed view from
+// the maintained component/class layers.
+func (m *Maintainer) rebuildGr() {
+	// Dense renumbering of live classes, ordered by class id.
+	liveIDs := make([]int32, 0, len(m.classSccs))
+	for cls := range m.classSccs {
+		liveIDs = append(liveIDs, cls)
+	}
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+	dense := make(map[int32]graph.Node, len(liveIDs))
+	for i, cls := range liveIDs {
+		dense[cls] = graph.Node(i)
+	}
+
+	numClasses := len(liveIDs)
+	rawAdj := make([][]int32, numClasses)
+	cyclic := make([]bool, numClasses)
+	members := make([][]graph.Node, numClasses)
+	for i, cls := range liveIDs {
+		for _, c := range m.classSccs[cls] {
+			if m.sccs[c].cyclic {
+				cyclic[i] = true
+			}
+			for t := range m.sccs[c].out {
+				rawAdj[i] = append(rawAdj[i], int32(dense[m.classOfScc[t]]))
+			}
+		}
+	}
+	classOf := make([]graph.Node, m.g.NumNodes())
+	for v := 0; v < m.g.NumNodes(); v++ {
+		cls := dense[m.classOfScc[m.compOf[v]]]
+		classOf[v] = cls
+		members[cls] = append(members[cls], graph.Node(v))
+	}
+	gr := reach.BuildQuotientGraph(rawAdj, cyclic)
+	m.comp = reach.AssembleCompressed(gr, classOf, members, cyclic)
+	m.dirtyGr = false
+}

@@ -1,0 +1,59 @@
+package increach
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/reach"
+)
+
+func TestStressIncrementalVsBatch(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.New(nil)
+		for i := 0; i < n; i++ {
+			g.AddNodeNamed("X")
+		}
+		m0 := rng.Intn(4 * n)
+		for i := 0; i < m0; i++ {
+			g.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+		}
+		m := New(g)
+		for round := 0; round < 6; round++ {
+			var batch []graph.Update
+			mode := rng.Intn(3)
+			size := 1 + rng.Intn(7)
+			switch mode {
+			case 0:
+				batch = gen.RandomBatch(rng, m.Graph(), size, 1.0)
+			case 1:
+				batch = gen.RandomBatch(rng, m.Graph(), size, 0.0)
+			default:
+				batch = gen.RandomBatch(rng, m.Graph(), size, 0.5)
+			}
+			m.Apply(batch)
+			want := reach.Compress(m.Graph())
+			got := m.Compressed()
+			if got.Gr.NumNodes() != want.Gr.NumNodes() || got.Gr.NumEdges() != want.Gr.NumEdges() {
+				t.Fatalf("seed %d round %d mode %d: quotient %v vs batch %v\nedges %v",
+					seed, round, mode, got.Gr, want.Gr, m.Graph().EdgeList())
+			}
+			fwd := make(map[graph.Node]graph.Node)
+			rev := make(map[graph.Node]graph.Node)
+			for v := 0; v < n; v++ {
+				gc, wc := got.ClassOf(graph.Node(v)), want.ClassOf(graph.Node(v))
+				if c, ok := fwd[gc]; ok && c != wc {
+					t.Fatalf("seed %d round %d: partition mismatch", seed, round)
+				}
+				if c, ok := rev[wc]; ok && c != gc {
+					t.Fatalf("seed %d round %d: partition mismatch", seed, round)
+				}
+				fwd[gc] = wc
+				rev[wc] = gc
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package pattern
+
+import (
+	"repro/internal/graph"
+)
+
+// IncMatcher maintains the maximum match of one pattern over an evolving
+// graph — the IncBMatch baseline of the paper's Fig. 12(h) experiment
+// (comparing incremental matching on G against incPCM + Match on Gr).
+//
+// Maintenance strategy (see DESIGN.md "Substitutions"):
+//
+//   - Deletion-only batches are handled incrementally: the new maximum
+//     match is a subset of the old one (removing edges only removes
+//     paths), and the refinement operator is deflationary, so running the
+//     fixpoint from the previous match converges exactly to the new
+//     maximum match while touching only pairs that actually change.
+//   - Batches containing insertions fall back to re-evaluation, because
+//     the maximum match may grow and a greatest fixpoint cannot be safely
+//     approached from below.
+type IncMatcher struct {
+	g    *graph.Graph
+	p    *Pattern
+	sim  [][]bool
+	size []int
+	ok   bool
+}
+
+// NewIncMatcher evaluates p on g and returns a maintainer. The matcher
+// owns g: all subsequent updates must be applied through Apply.
+func NewIncMatcher(g *graph.Graph, p *Pattern) *IncMatcher {
+	m := &IncMatcher{g: g, p: p}
+	m.rematch()
+	return m
+}
+
+// Result returns the current maximum match.
+func (m *IncMatcher) Result() *Result {
+	if !m.ok {
+		return &Result{OK: false}
+	}
+	return resultFromSim(m.sim, m.size)
+}
+
+// Graph returns the maintained graph.
+func (m *IncMatcher) Graph() *graph.Graph { return m.g }
+
+// Apply applies the batch to the graph and brings the match up to date.
+func (m *IncMatcher) Apply(batch []graph.Update) {
+	insertions := false
+	changedAny := false
+	for _, u := range batch {
+		if u.Insert {
+			if m.g.AddEdge(u.From, u.To) {
+				insertions = true
+				changedAny = true
+			}
+		} else {
+			if m.g.RemoveEdge(u.From, u.To) {
+				changedAny = true
+			}
+		}
+	}
+	if !changedAny {
+		return
+	}
+	if insertions {
+		// Growth is possible: re-evaluate.
+		m.rematch()
+		return
+	}
+	if !m.ok {
+		// There was no match and deletions cannot create one.
+		return
+	}
+	// Deletions only: refine the previous match downward.
+	m.ok = refineToFixpoint(m.g, m.p, m.sim, m.size)
+}
+
+func (m *IncMatcher) rematch() {
+	np := m.p.NumNodes()
+	n := m.g.NumNodes()
+	m.sim = make([][]bool, np)
+	m.size = make([]int, np)
+	for u := 0; u < np; u++ {
+		m.sim[u] = make([]bool, n)
+		if id, ok := m.g.Labels().Lookup(m.p.labels[u]); ok {
+			for v := 0; v < n; v++ {
+				if m.g.Label(graph.Node(v)) == id {
+					m.sim[u][v] = true
+					m.size[u]++
+				}
+			}
+		}
+		if m.size[u] == 0 {
+			m.ok = false
+			return
+		}
+	}
+	m.ok = refineToFixpoint(m.g, m.p, m.sim, m.size)
+}

@@ -1,0 +1,222 @@
+// Package pattern implements graph pattern queries via (bounded) simulation
+// (Section 2.1 and Section 4 of the paper):
+//
+//   - Pattern is Qp = (Vp, Ep, fv, fe): a directed graph of labeled query
+//     nodes whose edges carry a bound k >= 1 or * (unbounded).
+//   - Match computes the unique maximum match of Qp in a data graph G
+//     (Lemma 1, [9]): the greatest relation S ⊆ Vp×V such that matched data
+//     nodes carry the required label and every pattern edge (u,u') maps to
+//     a nonempty path of length within the bound, ending in a match of u'.
+//   - Bounded simulation with all bounds 1 is plain graph simulation [12].
+//
+// Match is an unmodified evaluation algorithm in the sense of the paper: it
+// runs identically on G and on the bisimulation-compressed Gr; Expand is
+// the post-processing function P that maps a result on Gr back to the
+// result on G by substituting class members.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bisim"
+	"repro/internal/graph"
+	"repro/internal/queries"
+)
+
+// Unbounded is the edge bound "*": the pattern edge maps to a nonempty path
+// of arbitrary length.
+const Unbounded = queries.Unbounded
+
+// Edge is a pattern edge to node To with bound Bound (a positive length
+// cap, or Unbounded).
+type Edge struct {
+	To    int32
+	Bound int
+}
+
+// Pattern is a graph pattern query Qp.
+type Pattern struct {
+	labels []string
+	adj    [][]Edge
+}
+
+// New returns an empty pattern.
+func New() *Pattern { return &Pattern{} }
+
+// AddNode appends a query node carrying the search condition fv = label and
+// returns its id.
+func (p *Pattern) AddNode(label string) int32 {
+	p.labels = append(p.labels, label)
+	p.adj = append(p.adj, nil)
+	return int32(len(p.labels) - 1)
+}
+
+// AddEdge adds a pattern edge (u,u') with the given bound (k >= 1, or
+// Unbounded for *). It panics on an invalid bound, matching the paper's
+// definition of fe.
+func (p *Pattern) AddEdge(u, v int32, bound int) {
+	if bound != Unbounded && bound < 1 {
+		panic(fmt.Sprintf("pattern: bound must be >= 1 or Unbounded, got %d", bound))
+	}
+	p.adj[u] = append(p.adj[u], Edge{To: v, Bound: bound})
+}
+
+// NumNodes returns |Vp|.
+func (p *Pattern) NumNodes() int { return len(p.labels) }
+
+// NumEdges returns |Ep|.
+func (p *Pattern) NumEdges() int {
+	n := 0
+	for _, es := range p.adj {
+		n += len(es)
+	}
+	return n
+}
+
+// Label returns fv(u).
+func (p *Pattern) Label(u int32) string { return p.labels[u] }
+
+// EdgesFrom returns the pattern edges leaving u.
+func (p *Pattern) EdgesFrom(u int32) []Edge { return p.adj[u] }
+
+// Result is the answer to a pattern query: the maximum match as one
+// sorted node list per pattern node, or no-match.
+type Result struct {
+	// Sets[u] lists the data nodes matching pattern node u. Valid only
+	// when OK.
+	Sets [][]graph.Node
+	// OK reports whether Qp matches the graph (every pattern node has at
+	// least one match). When false the answer is ∅ per the paper.
+	OK bool
+}
+
+// Contains reports whether (u, v) belongs to the match relation.
+func (r *Result) Contains(u int32, v graph.Node) bool {
+	if !r.OK {
+		return false
+	}
+	set := r.Sets[u]
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if set[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(set) && set[lo] == v
+}
+
+// Size returns the number of pairs in the match relation (0 when no match).
+func (r *Result) Size() int {
+	if !r.OK {
+		return 0
+	}
+	n := 0
+	for _, s := range r.Sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Match computes the unique maximum match of p in g via greatest-fixpoint
+// refinement: start from the label candidates and repeatedly intersect
+// sim(u) with the set of nodes having a nonempty path of length <= k to
+// some current member of sim(u'), for every pattern edge (u,u',k), until
+// stable. Boolean pattern queries use Match(...).OK.
+func Match(g *graph.Graph, p *Pattern) *Result {
+	np := p.NumNodes()
+	n := g.NumNodes()
+
+	// Resolve label candidates.
+	sim := make([][]bool, np)
+	size := make([]int, np)
+	for u := 0; u < np; u++ {
+		sim[u] = make([]bool, n)
+		if id, ok := g.Labels().Lookup(p.labels[u]); ok {
+			for v := 0; v < n; v++ {
+				if g.Label(graph.Node(v)) == id {
+					sim[u][v] = true
+					size[u]++
+				}
+			}
+		}
+		if size[u] == 0 {
+			return &Result{OK: false}
+		}
+	}
+
+	if !refineToFixpoint(g, p, sim, size) {
+		return &Result{OK: false}
+	}
+	return resultFromSim(sim, size)
+}
+
+// refineToFixpoint runs the greatest-fixpoint refinement in place. It
+// returns false as soon as some pattern node's candidate set empties.
+// Starting sets may be any superset of the maximum match; refinement is
+// deflationary and converges to the maximum match (see incmatch.go for why
+// this also powers incremental deletion maintenance).
+func refineToFixpoint(g *graph.Graph, p *Pattern, sim [][]bool, size []int) bool {
+	n := g.NumNodes()
+	for changed := true; changed; {
+		changed = false
+		for u := int32(0); u < int32(p.NumNodes()); u++ {
+			for _, e := range p.adj[u] {
+				allowed := queries.ReverseWithin(g, sim[e.To], e.Bound)
+				for v := 0; v < n; v++ {
+					if sim[u][v] && !allowed[v] {
+						sim[u][v] = false
+						size[u]--
+						changed = true
+					}
+				}
+				if size[u] == 0 {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func resultFromSim(sim [][]bool, size []int) *Result {
+	res := &Result{OK: true, Sets: make([][]graph.Node, len(sim))}
+	for u := range sim {
+		set := make([]graph.Node, 0, size[u])
+		for v := range sim[u] {
+			if sim[u][v] {
+				set = append(set, graph.Node(v))
+			}
+		}
+		res.Sets[u] = set
+	}
+	return res
+}
+
+// Expand is the post-processing function P of the pattern preserving
+// compression <R,F,P>: given the answer of Qp on Gr it produces the answer
+// on G by replacing every class node with its members. Linear in the size
+// of the output (Theorem 4); for Boolean queries it is unnecessary — use
+// the result's OK directly.
+func Expand(r *Result, c *bisim.Compressed) *Result {
+	if !r.OK {
+		return &Result{OK: false}
+	}
+	out := &Result{OK: true, Sets: make([][]graph.Node, len(r.Sets))}
+	for u, classes := range r.Sets {
+		var set []graph.Node
+		for _, cls := range classes {
+			set = append(set, c.Members[cls]...)
+		}
+		sortNodes(set)
+		out.Sets[u] = set
+	}
+	return out
+}
+
+func sortNodes(s []graph.Node) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

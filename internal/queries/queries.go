@@ -1,0 +1,234 @@
+// Package queries implements query evaluation algorithms over labeled
+// directed graphs: reachability via BFS and bidirectional BFS, and
+// level-bounded multi-source traversals used by bounded simulation.
+//
+// The algorithms are deliberately generic over *graph.Graph and contain no
+// knowledge of compression: the paper's central claim is that any evaluation
+// algorithm for a query class runs unmodified on the compressed graph Gr.
+// The test suites for the compression packages exercise exactly these
+// functions on both G and Gr.
+package queries
+
+import (
+	"repro/internal/graph"
+)
+
+// Reachable answers the reachability query QR(u,v): does a nonempty path
+// from u to v exist? Following the paper, a path has length >= 1, so
+// Reachable(g,u,u) is true only if u lies on a cycle (including a
+// self-loop).
+func Reachable(g *graph.Graph, u, v graph.Node) bool {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]graph.Node, 0, 16)
+	for _, w := range g.Successors(u) {
+		if w == v {
+			return true
+		}
+		if !seen[w] {
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Successors(x) {
+			if w == v {
+				return true
+			}
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return false
+}
+
+// ReachableBi answers QR(u,v) with a bidirectional BFS (the paper's BIBFS):
+// it alternates expanding the smaller frontier of a forward search from u
+// and a backward search from v until the frontiers meet.
+func ReachableBi(g *graph.Graph, u, v graph.Node) bool {
+	n := g.NumNodes()
+	// 0 = unseen, 1 = forward, 2 = backward.
+	mark := make([]uint8, n)
+	fwd := make([]graph.Node, 0, 16)
+	bwd := make([]graph.Node, 0, 16)
+
+	// Seed frontiers with the successors of u and predecessors of v so
+	// that only nonempty paths count.
+	for _, w := range g.Successors(u) {
+		if w == v {
+			return true
+		}
+		if mark[w] == 0 {
+			mark[w] = 1
+			fwd = append(fwd, w)
+		}
+	}
+	for _, w := range g.Predecessors(v) {
+		if mark[w] == 1 {
+			return true
+		}
+		if mark[w] == 0 {
+			mark[w] = 2
+			bwd = append(bwd, w)
+		}
+	}
+
+	for len(fwd) > 0 && len(bwd) > 0 {
+		if len(fwd) <= len(bwd) {
+			var next []graph.Node
+			for _, x := range fwd {
+				for _, w := range g.Successors(x) {
+					switch mark[w] {
+					case 2:
+						return true
+					case 0:
+						mark[w] = 1
+						next = append(next, w)
+					}
+				}
+			}
+			fwd = next
+		} else {
+			var next []graph.Node
+			for _, x := range bwd {
+				for _, w := range g.Predecessors(x) {
+					switch mark[w] {
+					case 1:
+						return true
+					case 0:
+						mark[w] = 2
+						next = append(next, w)
+					}
+				}
+			}
+			bwd = next
+		}
+	}
+	return false
+}
+
+// Descendants returns the set of nodes reachable from u via nonempty paths,
+// as a boolean slice indexed by node.
+func Descendants(g *graph.Graph, u graph.Node) []bool {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]graph.Node, 0, 16)
+	for _, w := range g.Successors(u) {
+		if !seen[w] {
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Successors(x) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Ancestors returns the set of nodes that reach u via nonempty paths.
+func Ancestors(g *graph.Graph, u graph.Node) []bool {
+	seen := make([]bool, g.NumNodes())
+	queue := make([]graph.Node, 0, 16)
+	for _, w := range g.Predecessors(u) {
+		if !seen[w] {
+			seen[w] = true
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Predecessors(x) {
+			if !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// ReverseWithin marks every node that has a nonempty path of length at most
+// bound to some node in targets (targets given as a boolean slice). A bound
+// of Unbounded means no length restriction. The result slice is indexed by
+// node. This is the primitive bounded simulation is built on: computing, for
+// a pattern edge (u,u') with bound k, the set of graph nodes within distance
+// k of the current match set of u'.
+func ReverseWithin(g *graph.Graph, targets []bool, bound int) []bool {
+	n := g.NumNodes()
+	result := make([]bool, n)
+	frontier := make([]graph.Node, 0, 64)
+	// Level 1: direct predecessors of targets.
+	for v := 0; v < n; v++ {
+		if !targets[v] {
+			continue
+		}
+		for _, p := range g.Predecessors(graph.Node(v)) {
+			if !result[p] {
+				result[p] = true
+				frontier = append(frontier, p)
+			}
+		}
+	}
+	level := 1
+	for len(frontier) > 0 && (bound == Unbounded || level < bound) {
+		var next []graph.Node
+		for _, x := range frontier {
+			for _, p := range g.Predecessors(x) {
+				if !result[p] {
+					result[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+		level++
+	}
+	return result
+}
+
+// Unbounded marks a pattern-edge bound of "*": path length unrestricted.
+const Unbounded = -1
+
+// Distance returns the length of the shortest nonempty path from u to v, or
+// -1 if v is unreachable from u.
+func Distance(g *graph.Graph, u, v graph.Node) int {
+	seen := make([]bool, g.NumNodes())
+	frontier := []graph.Node{}
+	for _, w := range g.Successors(u) {
+		if w == v {
+			return 1
+		}
+		if !seen[w] {
+			seen[w] = true
+			frontier = append(frontier, w)
+		}
+	}
+	d := 1
+	for len(frontier) > 0 {
+		var next []graph.Node
+		for _, x := range frontier {
+			for _, w := range g.Successors(x) {
+				if w == v {
+					return d + 1
+				}
+				if !seen[w] {
+					seen[w] = true
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+		d++
+	}
+	return -1
+}

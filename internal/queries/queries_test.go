@@ -1,0 +1,181 @@
+package queries
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func buildGraph(n int, edges [][2]graph.Node) *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNodeNamed("X")
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(nil)
+	for i := 0; i < n; i++ {
+		g.AddNodeNamed("X")
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return g
+}
+
+func TestReachableBasic(t *testing.T) {
+	g := buildGraph(5, [][2]graph.Node{{0, 1}, {1, 2}, {3, 4}})
+	cases := []struct {
+		u, v graph.Node
+		want bool
+	}{
+		{0, 1, true}, {0, 2, true}, {1, 0, false},
+		{0, 3, false}, {3, 4, true}, {4, 3, false},
+		{0, 0, false}, // no cycle: strict reachability is false
+	}
+	for _, c := range cases {
+		if got := Reachable(g, c.u, c.v); got != c.want {
+			t.Errorf("Reachable(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+		if got := ReachableBi(g, c.u, c.v); got != c.want {
+			t.Errorf("ReachableBi(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestReachableSelfOnCycle(t *testing.T) {
+	g := buildGraph(3, [][2]graph.Node{{0, 1}, {1, 0}, {2, 2}})
+	for _, v := range []graph.Node{0, 1, 2} {
+		if !Reachable(g, v, v) {
+			t.Errorf("Reachable(%d,%d) = false on cycle", v, v)
+		}
+		if !ReachableBi(g, v, v) {
+			t.Errorf("ReachableBi(%d,%d) = false on cycle", v, v)
+		}
+	}
+}
+
+func TestBiBFSAgreesWithBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(160))
+		for trial := 0; trial < 40; trial++ {
+			u, v := graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n))
+			if Reachable(g, u, v) != ReachableBi(g, u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescendantsAncestorsDual(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(100))
+		for trial := 0; trial < 20; trial++ {
+			u := graph.Node(rng.Intn(n))
+			desc := Descendants(g, u)
+			for v := 0; v < n; v++ {
+				if desc[v] != Reachable(g, u, graph.Node(v)) {
+					return false
+				}
+				anc := Ancestors(g, graph.Node(v))
+				if anc[u] != desc[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	g := buildGraph(5, [][2]graph.Node{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {3, 3}})
+	cases := []struct {
+		u, v graph.Node
+		want int
+	}{
+		{0, 1, 1}, {0, 2, 2}, {0, 3, 1}, {1, 3, 2},
+		{3, 3, 1}, {0, 0, -1}, {4, 0, -1}, {0, 4, -1},
+	}
+	for _, c := range cases {
+		if got := Distance(g, c.u, c.v); got != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestReverseWithin(t *testing.T) {
+	// Chain 0 -> 1 -> 2 -> 3 with target {3}.
+	g := buildGraph(4, [][2]graph.Node{{0, 1}, {1, 2}, {2, 3}})
+	targets := []bool{false, false, false, true}
+	r1 := ReverseWithin(g, targets, 1)
+	if !r1[2] || r1[1] || r1[0] || r1[3] {
+		t.Fatalf("bound 1: %v", r1)
+	}
+	r2 := ReverseWithin(g, targets, 2)
+	if !r2[2] || !r2[1] || r2[0] {
+		t.Fatalf("bound 2: %v", r2)
+	}
+	rAll := ReverseWithin(g, targets, Unbounded)
+	if !rAll[0] || !rAll[1] || !rAll[2] || rAll[3] {
+		t.Fatalf("unbounded: %v", rAll)
+	}
+}
+
+func TestReverseWithinSelfTarget(t *testing.T) {
+	// Cycle 0 <-> 1: node 1 has a nonempty path to itself, so with targets
+	// {1}, unbounded reverse reach must include 1.
+	g := buildGraph(2, [][2]graph.Node{{0, 1}, {1, 0}})
+	r := ReverseWithin(g, []bool{false, true}, Unbounded)
+	if !r[0] || !r[1] {
+		t.Fatalf("cycle reverse reach: %v", r)
+	}
+}
+
+func TestReverseWithinMatchesDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, rng.Intn(80))
+		targets := make([]bool, n)
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			targets[rng.Intn(n)] = true
+		}
+		bound := 1 + rng.Intn(4)
+		got := ReverseWithin(g, targets, bound)
+		for v := 0; v < n; v++ {
+			want := false
+			for w := 0; w < n; w++ {
+				if targets[w] {
+					if d := Distance(g, graph.Node(v), graph.Node(w)); d != -1 && d <= bound {
+						want = true
+					}
+				}
+			}
+			if got[v] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+package reach
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// SCCCompress collapses every strongly connected component of g into a
+// single node, preserving reachability. This is the Gscc optimization of
+// Section 3.2 and the |Gscc| denominator of the RCscc column of Table 1.
+// Cyclic components receive a self-loop so that QR(v,v) and within-SCC
+// queries remain answerable by unmodified BFS.
+func SCCCompress(g *graph.Graph) *Compressed {
+	scc := graph.Tarjan(g)
+	n := scc.NumComponents()
+	labels := graph.NewLabels()
+	sigma := labels.Intern(SigmaLabel)
+	gr := graph.New(labels)
+	for i := 0; i < n; i++ {
+		gr.AddNode(sigma)
+	}
+	for a := range scc.Out {
+		for _, b := range scc.Out[a] {
+			gr.AddEdge(int32(a), b)
+		}
+	}
+	c := &Compressed{
+		Gr:          gr,
+		classOf:     make([]graph.Node, g.NumNodes()),
+		Members:     make([][]graph.Node, n),
+		CyclicClass: make([]bool, n),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		comp := scc.Comp[v]
+		c.classOf[v] = comp
+		c.Members[comp] = append(c.Members[comp], graph.Node(v))
+	}
+	for comp := 0; comp < n; comp++ {
+		if scc.Cyclic[comp] {
+			c.CyclicClass[comp] = true
+			gr.AddEdge(int32(comp), int32(comp))
+		}
+	}
+	return c
+}
+
+// AHOReduce computes the transitive reduction of g in the sense of Aho,
+// Garey and Ullman [1]: the minimum subgraph-shaped graph over the same
+// node set V with the same transitive closure. Every nontrivial SCC is
+// replaced by a simple cycle through its members, and the condensation is
+// transitively reduced. It is the paper's comparison baseline (column
+// RCaho of Table 1). Unlike Compress, the node set is unchanged: only
+// edges shrink.
+func AHOReduce(g *graph.Graph) *graph.Graph {
+	scc := graph.Tarjan(g)
+	n := scc.NumComponents()
+
+	out := graph.New(g.Labels())
+	for v := 0; v < g.NumNodes(); v++ {
+		out.AddNode(g.Label(graph.Node(v)))
+	}
+
+	// Simple cycle through each nontrivial SCC; keep self-loops of trivial
+	// cyclic components (they are part of the closure).
+	for comp := 0; comp < n; comp++ {
+		ms := scc.Members[comp]
+		if len(ms) > 1 {
+			for i := range ms {
+				out.AddEdge(ms[i], ms[(i+1)%len(ms)])
+			}
+		} else if scc.Cyclic[comp] {
+			out.AddEdge(ms[0], ms[0])
+		}
+	}
+
+	// Transitive reduction of the condensation, realized by one member
+	// edge per kept condensation edge.
+	kept := make([][]int32, n)
+	runReduction(scc, kept)
+
+	for a := 0; a < n; a++ {
+		for _, b := range kept[a] {
+			out.AddEdge(scc.Members[a][0], scc.Members[b][0])
+		}
+	}
+	return out
+}
+
+// runReduction fills kept[a] with the non-redundant condensation edges of
+// a: edge (a,b) is redundant iff b is a strict descendant of another child
+// of a.
+func runReduction(s *graph.SCC, kept [][]int32) {
+	n := s.NumComponents()
+	sets := make([]*bitset.Set, n)
+	remaining := make([]int, n)
+	for b := 0; b < n; b++ {
+		remaining[b] = len(s.In[b])
+	}
+	var pool []*bitset.Set
+	alloc := func() *bitset.Set {
+		if len(pool) > 0 {
+			set := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			set.Reset()
+			return set
+		}
+		return bitset.New(n)
+	}
+	for a := 0; a < n; a++ {
+		d := alloc()
+		// First pass: union of descendants of children (excluding the
+		// children themselves) tells which child edges are redundant.
+		for _, b := range s.Out[a] {
+			d.Or(sets[b])
+		}
+		for _, b := range s.Out[a] {
+			if !d.Has(int(b)) {
+				kept[a] = append(kept[a], b)
+			}
+		}
+		// Then complete d into desc(a) and release exhausted children.
+		for _, b := range s.Out[a] {
+			d.Set(int(b))
+			remaining[b]--
+			if remaining[b] == 0 {
+				pool = append(pool, sets[b])
+				sets[b] = nil
+			}
+		}
+		sets[a] = d
+		if remaining[a] == 0 {
+			pool = append(pool, d)
+			sets[a] = nil
+		}
+	}
+}

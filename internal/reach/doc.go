@@ -1,0 +1,68 @@
+// Package reach implements reachability preserving compression (Section 3
+// of the paper): given G, it computes Gr = R(G) whose nodes are the
+// equivalence classes of the reachability equivalence relation Re, such
+// that for every reachability query QR(v,w) on G, QR(R(v),R(w)) on Gr gives
+// the same answer, evaluated by any unmodified reachability algorithm.
+//
+// # Definitions
+//
+// "x reaches u" is strict: there is a nonempty path (length >= 1) from x to
+// u. (u,v) ∈ Re iff u and v have the same strict ancestor set and the same
+// strict descendant set. Re is the maximum reachability relation and an
+// equivalence relation (Lemma 3 of the paper).
+//
+// # Structure of the equivalence classes
+//
+// The implementation works on the SCC condensation (the paper's
+// optimization). Two facts make this exact, both following from the DAG
+// property of the condensation:
+//
+//  1. All members of an SCC are equivalent: members of a cyclic SCC share
+//     all strict ancestors/descendants (including each other), so classes
+//     are unions of SCCs.
+//
+//  2. A class is either a single cyclic SCC, or a set of trivial (acyclic,
+//     single-node) SCCs. Proof: suppose a cyclic SCC S shares a class with
+//     a different SCC T. A member u of S strictly reaches itself, hence all
+//     of S; so members of T must also reach all of S, and symmetrically all
+//     of S must reach T's members' descendants... concretely S belongs to
+//     the strict descendant set and the strict ancestor set of T's members,
+//     which makes S and T mutually reachable — contradiction with S ≠ T.
+//     Two distinct cyclic SCCs S, S' in one class is likewise impossible
+//     (each contains itself in its strict sets, the other must too, forcing
+//     mutual reachability).
+//
+// Consequently the algorithm: each cyclic SCC forms its own class, and
+// trivial SCCs are grouped by the pair (ancestor SCC-set, descendant
+// SCC-set) computed over the condensation DAG.
+//
+// # Uniform reachability and self-loops
+//
+// Within a class, reachability is uniform: in a cyclic-SCC class every
+// member reaches every member; in a trivial-SCC class no member reaches any
+// member (if trivial SCCs A != B in one class had A → … → B, then
+// A ∈ anc(B) = anc(A), contradicting acyclicity). Therefore the rewriting
+// F(QR(v,w)) = QR(R(v),R(w)) is unambiguous, and cyclic classes carry a
+// self-loop in Gr so that an unmodified BFS answers QR(c,c) correctly —
+// matching compressR in the paper (Fig. 5), which inserts (vS,vS) when a
+// member edge exists inside S and vS does not yet reach itself.
+//
+// # Quotient DAG and transitive reduction
+//
+// The class graph (ignoring self-loops) is a DAG: a class cycle
+// A → B → … → A would put a class inside its own strict descendant set.
+// Class-level reachability equals member-level reachability (uniform
+// descendant sets), so the unique transitive reduction of the class DAG
+// preserves all reachability answers while minimizing |Er| — the
+// "no redundant edges" condition of compressR lines 6–8, made
+// deterministic.
+//
+// # Complexity
+//
+// Tarjan is linear. The ancestor/descendant DP over the condensation runs
+// in O(|Vscc| · |Escc| / w) word operations with a working set bounded by
+// the antichain width of the DAG (bitsets are released once all their
+// consumers have run); grouping retains one representative bitset per
+// class. This meets the paper's O(|V|(|V|+|E|)) bound for R, and F is O(1)
+// via the node→class index.
+package reach

@@ -1,0 +1,126 @@
+package reach
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// descendantDP computes, for every condensation node a in ascending id
+// order (sinks first — ids are reverse-topological), the strict descendant
+// SCC-set of a:
+//
+//	desc(a) = ⋃_{b ∈ Out(a)} (desc(b) ∪ {b})
+//
+// and calls fn(a, desc(a)). The bitset passed to fn is only valid during
+// the call: sets are pooled and released once every parent has consumed
+// them, keeping peak memory proportional to the antichain width of the DAG
+// rather than |Vscc|².
+func descendantDP(s *graph.SCC, fn func(comp int32, desc *bitset.Set)) {
+	n := s.NumComponents()
+	sets := make([]*bitset.Set, n)
+	remaining := make([]int, n) // parents yet to consume desc
+	for b := 0; b < n; b++ {
+		remaining[b] = len(s.In[b])
+	}
+	var pool []*bitset.Set
+	alloc := func() *bitset.Set {
+		if len(pool) > 0 {
+			set := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			set.Reset()
+			return set
+		}
+		return bitset.New(n)
+	}
+	for a := 0; a < n; a++ {
+		d := alloc()
+		for _, b := range s.Out[a] {
+			d.Or(sets[b])
+			d.Set(int(b))
+			remaining[b]--
+			if remaining[b] == 0 {
+				pool = append(pool, sets[b])
+				sets[b] = nil
+			}
+		}
+		sets[a] = d
+		fn(int32(a), d)
+		if remaining[a] == 0 { // no parents will ever read it
+			pool = append(pool, d)
+			sets[a] = nil
+		}
+	}
+}
+
+// ancestorDP is the mirror of descendantDP: it visits condensation nodes in
+// descending id order (sources first) and computes strict ancestor SCC-sets
+//
+//	anc(b) = ⋃_{a ∈ In(b)} (anc(a) ∪ {a})
+func ancestorDP(s *graph.SCC, fn func(comp int32, anc *bitset.Set)) {
+	n := s.NumComponents()
+	sets := make([]*bitset.Set, n)
+	remaining := make([]int, n) // children yet to consume anc
+	for a := 0; a < n; a++ {
+		remaining[a] = len(s.Out[a])
+	}
+	var pool []*bitset.Set
+	alloc := func() *bitset.Set {
+		if len(pool) > 0 {
+			set := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			set.Reset()
+			return set
+		}
+		return bitset.New(n)
+	}
+	for b := n - 1; b >= 0; b-- {
+		x := alloc()
+		for _, a := range s.In[b] {
+			x.Or(sets[a])
+			x.Set(int(a))
+			remaining[a]--
+			if remaining[a] == 0 {
+				pool = append(pool, sets[a])
+				sets[a] = nil
+			}
+		}
+		sets[b] = x
+		fn(int32(b), x)
+		if remaining[b] == 0 {
+			pool = append(pool, x)
+			sets[b] = nil
+		}
+	}
+}
+
+// setGrouper assigns group ids to bitsets: sets with equal contents get the
+// same id. Candidate groups are bucketed by a 128-bit hash plus cardinality
+// and then verified exactly against a retained representative, so hash
+// collisions cannot produce wrong groups.
+type setGrouper struct {
+	buckets map[[3]uint64][]int // (h1, h2, count) -> group ids
+	reps    []*bitset.Set       // representative per group
+}
+
+func newSetGrouper() *setGrouper {
+	return &setGrouper{buckets: make(map[[3]uint64][]int)}
+}
+
+// groupOf returns the group id for set, creating a new group (and cloning
+// set as its representative) when no existing group matches exactly.
+func (sg *setGrouper) groupOf(set *bitset.Set) int {
+	h1, h2 := set.Hash()
+	key := [3]uint64{h1, h2, uint64(set.Count())}
+	for _, id := range sg.buckets[key] {
+		if sg.reps[id].Equal(set) {
+			return id
+		}
+	}
+	id := len(sg.reps)
+	sg.reps = append(sg.reps, set.Clone())
+	sg.buckets[key] = append(sg.buckets[key], id)
+	return id
+}
+
+// numGroups returns the number of distinct groups formed so far.
+func (sg *setGrouper) numGroups() int { return len(sg.reps) }

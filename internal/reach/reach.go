@@ -1,0 +1,266 @@
+package reach
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+)
+
+// SigmaLabel is the fixed label σ assigned to every node of a
+// reachability-compressed graph (node labels are irrelevant to reachability
+// queries, Section 3.1 of the paper).
+const SigmaLabel = "σ"
+
+// Compressed is the result of reachability preserving compression: the
+// compressed graph Gr together with the node mapping R and its inverse
+// index, forming the <R,F> pair of Theorem 2 (no post-processing P is
+// needed for reachability).
+type Compressed struct {
+	// Gr is the compressed graph. Any reachability algorithm runs on it
+	// unmodified.
+	Gr *graph.Graph
+	// classOf maps every node of G to its class node in Gr (the mapping R).
+	classOf []graph.Node
+	// Members lists, for every class node of Gr, the original nodes it
+	// represents (the inverse index used by post-processing).
+	Members [][]graph.Node
+	// CyclicClass reports whether a class contains a cyclic SCC; such
+	// classes carry a self-loop in Gr.
+	CyclicClass []bool
+}
+
+// ClassOf returns R(v), the class node of Gr representing v.
+func (c *Compressed) ClassOf(v graph.Node) graph.Node { return c.classOf[v] }
+
+// Rewrite implements the query rewriting function F: it maps the
+// reachability query QR(u,v) on G to QR(R(u),R(v)) on Gr in O(1).
+func (c *Compressed) Rewrite(u, v graph.Node) (graph.Node, graph.Node) {
+	return c.classOf[u], c.classOf[v]
+}
+
+// NumClasses returns |Vr|.
+func (c *Compressed) NumClasses() int { return len(c.Members) }
+
+// Ratio returns the compression ratio RCr = |Gr| / |G| for the original
+// graph g.
+func (c *Compressed) Ratio(g *graph.Graph) float64 {
+	return float64(c.Gr.Size()) / float64(g.Size())
+}
+
+// AssembleCompressed packages an externally maintained quotient (as built
+// by BuildQuotientGraph) with its node mapping into a Compressed value.
+// Used by the incremental maintainer.
+func AssembleCompressed(gr *graph.Graph, classOf []graph.Node, members [][]graph.Node, cyclic []bool) *Compressed {
+	return &Compressed{Gr: gr, classOf: classOf, Members: members, CyclicClass: cyclic}
+}
+
+// Compress computes the reachability preserving compression R(G) of g
+// (algorithm compressR, Fig. 5 of the paper, with the SCC optimization of
+// Section 3.2). See the package documentation for the precise construction
+// and its correctness argument.
+func Compress(g *graph.Graph) *Compressed {
+	scc := graph.Tarjan(g)
+	return compressFromSCC(g, scc)
+}
+
+// CompressSCC is Compress with a caller-provided condensation, for callers
+// (e.g. the incremental maintainer's rebuild path) that already computed
+// it.
+func CompressSCC(g *graph.Graph, scc *graph.SCC) *Compressed {
+	return compressFromSCC(g, scc)
+}
+
+// SetCounts computes, with the windowed word-parallel DP, the cardinality
+// of the strict descendant and ancestor component sets of every
+// condensation node. Used by the incremental maintainer as its
+// merge-candidate filter.
+func SetCounts(scc *graph.SCC) (descCount, ancCount []int32) {
+	n := scc.NumComponents()
+	descCount = make([]int32, n)
+	ancCount = make([]int32, n)
+	descendantDP(scc, func(comp int32, d *bitset.Set) {
+		descCount[comp] = int32(d.Count())
+	})
+	ancestorDP(scc, func(comp int32, a *bitset.Set) {
+		ancCount[comp] = int32(a.Count())
+	})
+	return
+}
+
+// compressFromSCC performs the quotient construction given a precomputed
+// condensation; shared with the incremental maintainer.
+func compressFromSCC(g *graph.Graph, scc *graph.SCC) *Compressed {
+	n := scc.NumComponents()
+
+	// Group trivial SCCs by strict descendant set, then by strict ancestor
+	// set; cyclic SCCs are singleton classes (package doc, fact 2).
+	descGroup := make([]int32, n)
+	ancGroup := make([]int32, n)
+	dg := newSetGrouper()
+	descendantDP(scc, func(comp int32, desc *bitset.Set) {
+		if !scc.Cyclic[comp] {
+			descGroup[comp] = int32(dg.groupOf(desc))
+		}
+	})
+	ag := newSetGrouper()
+	ancestorDP(scc, func(comp int32, anc *bitset.Set) {
+		if !scc.Cyclic[comp] {
+			ancGroup[comp] = int32(ag.groupOf(anc))
+		}
+	})
+
+	// Assign class ids: one per cyclic SCC, one per (descGroup, ancGroup)
+	// pair of trivial SCCs.
+	classOfComp := make([]int32, n)
+	pairClass := make(map[[2]int32]int32)
+	next := int32(0)
+	for comp := 0; comp < n; comp++ {
+		if scc.Cyclic[comp] {
+			classOfComp[comp] = next
+			next++
+			continue
+		}
+		key := [2]int32{descGroup[comp], ancGroup[comp]}
+		id, ok := pairClass[key]
+		if !ok {
+			id = next
+			next++
+			pairClass[key] = id
+		}
+		classOfComp[comp] = id
+	}
+	numClasses := int(next)
+
+	c := &Compressed{
+		classOf:     make([]graph.Node, g.NumNodes()),
+		Members:     make([][]graph.Node, numClasses),
+		CyclicClass: make([]bool, numClasses),
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		cls := classOfComp[scc.Comp[v]]
+		c.classOf[v] = cls
+		c.Members[cls] = append(c.Members[cls], graph.Node(v))
+	}
+	for comp := 0; comp < n; comp++ {
+		if scc.Cyclic[comp] {
+			c.CyclicClass[classOfComp[comp]] = true
+		}
+	}
+
+	rawAdj := make([][]int32, numClasses)
+	for a := range scc.Out {
+		ca := classOfComp[a]
+		for _, b := range scc.Out[a] {
+			rawAdj[ca] = append(rawAdj[ca], classOfComp[b])
+		}
+	}
+	c.Gr = BuildQuotientGraph(rawAdj, c.CyclicClass)
+	return c
+}
+
+// BuildQuotientGraph constructs a reachability-compressed graph from raw
+// (possibly duplicated) class-level adjacency: class nodes labeled σ,
+// deduplicated inter-class edges with transitive reduction applied, and
+// self-loops on cyclic classes. Exported for the incremental maintainer,
+// which produces the class adjacency from its own bookkeeping.
+func BuildQuotientGraph(rawAdj [][]int32, cyclic []bool) *graph.Graph {
+	numClasses := len(rawAdj)
+	labels := graph.NewLabels()
+	sigma := labels.Intern(SigmaLabel)
+	gr := graph.New(labels)
+	for i := 0; i < numClasses; i++ {
+		gr.AddNode(sigma)
+	}
+
+	// Deduplicate candidate class edges.
+	type edge struct{ a, b int32 }
+	seen := make(map[edge]bool)
+	var adj = make([][]int32, numClasses)
+	var radj = make([][]int32, numClasses)
+	for a := range rawAdj {
+		ca := int32(a)
+		for _, cb := range rawAdj[a] {
+			if ca == cb {
+				// Impossible for distinct comps of one class (package doc);
+				// defensive: ignore rather than create a spurious loop.
+				continue
+			}
+			e := edge{ca, cb}
+			if !seen[e] {
+				seen[e] = true
+				adj[ca] = append(adj[ca], cb)
+				radj[cb] = append(radj[cb], ca)
+			}
+		}
+	}
+
+	// Topological order of the class DAG (Kahn).
+	order := topoOrder(adj, radj, numClasses)
+
+	// Transitive reduction: keep edge (a,b) iff b is not a descendant of
+	// any other child of a. Class descendant bitsets are computed in
+	// reverse topological order.
+	desc := make([]*bitset.Set, numClasses)
+	for i := len(order) - 1; i >= 0; i-- {
+		a := order[i]
+		d := bitset.New(numClasses)
+		for _, b := range adj[a] {
+			d.Or(desc[b])
+			d.Set(int(b))
+		}
+		desc[a] = d
+	}
+	for a := int32(0); a < int32(numClasses); a++ {
+		// Union of descendants of all children of a; an edge (a,b) is
+		// redundant iff b appears there (b ∈ desc(b) is impossible in a
+		// DAG, so the child b itself never masks its own edge).
+		u := bitset.New(numClasses)
+		for _, b := range adj[a] {
+			u.Or(desc[b])
+		}
+		for _, b := range adj[a] {
+			if !u.Has(int(b)) {
+				gr.AddEdge(a, b)
+			}
+		}
+	}
+	for cls := 0; cls < numClasses; cls++ {
+		if cyclic[cls] {
+			gr.AddEdge(int32(cls), int32(cls))
+		}
+	}
+	return gr
+}
+
+// topoOrder returns a topological order (sources first) of the DAG given by
+// adj/radj. It panics if a cycle is present, which would violate the class
+// DAG invariant.
+func topoOrder(adj, radj [][]int32, n int) []int32 {
+	indeg := make([]int, n)
+	for b := 0; b < n; b++ {
+		indeg[b] = len(radj[b])
+	}
+	order := make([]int32, 0, n)
+	var stack []int32
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			stack = append(stack, int32(v))
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, v)
+		for _, w := range adj[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				stack = append(stack, w)
+			}
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("reach: class graph contains a cycle (%d of %d ordered)", len(order), n))
+	}
+	return order
+}

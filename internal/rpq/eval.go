@@ -1,0 +1,184 @@
+package rpq
+
+import (
+	"sort"
+
+	"repro/internal/bisim"
+	"repro/internal/graph"
+)
+
+// Eval answers RPQ(u, r) on g: the sorted set of nodes w with a nonempty
+// path from u to w whose label word matches r. It runs a BFS over the
+// product of the graph with r's NFA (states = (node, NFA state) pairs).
+// Like every evaluator here, Eval works identically on a compressed graph.
+func Eval(g *graph.Graph, u graph.Node, r *Regex) []graph.Node {
+	n := g.NumNodes()
+	q := len(r.trans)
+	// visited[(v*q)+s]
+	visited := make([]bool, n*q)
+	accepted := make([]bool, n)
+
+	type state struct {
+		v graph.Node
+		s int
+	}
+	var stack []state
+	push := func(v graph.Node, s int) {
+		idx := int(v)*q + s
+		if !visited[idx] {
+			visited[idx] = true
+			stack = append(stack, state{v, s})
+		}
+	}
+
+	// ε-closure of the start state, seated at u.
+	push(u, r.start)
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if st.s == r.acc && st.v != u {
+			accepted[st.v] = true
+		}
+		if st.s == r.acc && st.v == u {
+			// Nonempty path back to u (cycles) also counts.
+			accepted[u] = true
+		}
+		for _, t := range r.eps[st.s] {
+			push(st.v, t)
+		}
+		for _, e := range r.trans[st.s] {
+			for _, w := range g.Successors(st.v) {
+				if g.LabelName(w) == e.label {
+					push(w, e.to)
+				}
+			}
+		}
+	}
+	// The start state itself is not an acceptance (paths are nonempty):
+	// acceptance was only recorded after at least one transition — except
+	// that an ε-only path start→acc would wrongly accept u. Guard: accept
+	// u only if it was reached through a labeled transition, which the
+	// construction guarantees because u enters the accepted set via some
+	// (u, acc) product state pushed after consuming a label... unless the
+	// regex accepts the empty word. Handle that case: empty-word regexes
+	// accept nothing (paths must be nonempty), so remove u if it was
+	// accepted purely via ε-moves from the start.
+	if emptyWord(r) && !reachableByLabel(g, u, r) {
+		accepted[u] = false
+	}
+
+	out := make([]graph.Node, 0, 8)
+	for v := 0; v < n; v++ {
+		if accepted[v] {
+			out = append(out, graph.Node(v))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// emptyWord reports whether the NFA accepts the empty word (ε-path from
+// start to acc).
+func emptyWord(r *Regex) bool {
+	seen := make([]bool, len(r.eps))
+	stack := []int{r.start}
+	seen[r.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s == r.acc {
+			return true
+		}
+		for _, t := range r.eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return false
+}
+
+// reachableByLabel reports whether u is in its own RPQ answer via an
+// actual labeled cycle (used to disambiguate the empty-word case).
+func reachableByLabel(g *graph.Graph, u graph.Node, r *Regex) bool {
+	// Re-run the product BFS but record whether (u, acc) is reached after
+	// at least one labeled transition; visited is keyed by (v, s, labeled)
+	// because the labeled and unlabeled searches traverse different
+	// frontiers.
+	n := g.NumNodes()
+	q := len(r.trans)
+	visited := make([]bool, n*q*2)
+	type state struct {
+		v       graph.Node
+		s       int
+		labeled bool
+	}
+	var stack []state
+	push := func(v graph.Node, s int, labeled bool) {
+		idx := (int(v)*q + s) * 2
+		if labeled {
+			idx++
+		}
+		if !visited[idx] {
+			visited[idx] = true
+			stack = append(stack, state{v, s, labeled})
+		}
+	}
+	push(u, r.start, false)
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if st.s == r.acc && st.v == u && st.labeled {
+			return true
+		}
+		for _, t := range r.eps[st.s] {
+			push(st.v, t, st.labeled)
+		}
+		for _, e := range r.trans[st.s] {
+			for _, w := range g.Successors(st.v) {
+				if g.LabelName(w) == e.label {
+					push(w, e.to, true)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// EvalClasses answers RPQ(u, r) at class granularity through a
+// bisimulation-compressed graph: the returned Gr nodes are exactly the
+// classes containing at least one true target of RPQ(u, r) on G.
+//
+// This is the precise sense in which bisimulation preserves regular path
+// queries — and no more. A matching path projects from G to Gr with the
+// same label word (soundness of the classes), and any Gr path lifts from
+// every member of the source class to SOME member of each class along the
+// way (completeness). But expanding a result class to all of its members
+// overapproximates: bisimilar targets share their forward language, not
+// their reachability FROM u. Exact node-level RPQ answers would need a
+// finer, query-aware equivalence — precisely the future work the paper's
+// conclusion sketches ("compression for pattern queries with embedded
+// regular expressions"). Boolean RPQs ("is the answer nonempty?") are
+// preserved exactly; see ExistsOnCompressed.
+func EvalClasses(c *bisim.Compressed, u graph.Node, r *Regex) []graph.Node {
+	return Eval(c.Gr, c.ClassOf(u), r)
+}
+
+// ExistsOnCompressed answers the Boolean RPQ — is some node reachable from
+// u via a path matching r? — on the compressed graph, exactly.
+func ExistsOnCompressed(c *bisim.Compressed, u graph.Node, r *Regex) bool {
+	return len(Eval(c.Gr, c.ClassOf(u), r)) > 0
+}
+
+// ExpandClasses unions the members of the given classes (sorted). Applied
+// to EvalClasses output it yields an overapproximation of the node-level
+// answer that is still useful as a candidate filter.
+func ExpandClasses(c *bisim.Compressed, classes []graph.Node) []graph.Node {
+	var out []graph.Node
+	for _, cls := range classes {
+		out = append(out, c.Members[cls]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

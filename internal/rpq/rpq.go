@@ -1,0 +1,243 @@
+// Package rpq implements regular path queries over node-labeled graphs —
+// the extension the paper names as future work in its conclusion
+// ("compression methods for other queries, e.g., pattern queries with
+// embedded regular expressions").
+//
+// A regular path query RPQ(u, r) returns the nodes w reachable from u via
+// a nonempty path v0=u, v1, …, vk=w whose label word L(v1)…L(vk) matches
+// the regular expression r over label names. The expression syntax is:
+//
+//	atom   := label | '(' expr ')'
+//	factor := atom | atom '*' | atom '+' | atom '?'
+//	term   := factor factor …        (concatenation by juxtaposition, '.')
+//	expr   := term ('|' term)*
+//
+// Labels are single identifiers; use '.' to separate concatenated labels
+// ("BSA.C.FA" = a BSA node, then a C node, then an FA node).
+//
+// Evaluation runs a product BFS of the graph with a Thompson NFA of r —
+// and, like every evaluator in this repository, it runs unmodified on the
+// bisimulation-compressed graph. What the compression preserves is the
+// CLASS-level answer (and hence Boolean RPQs), exactly; node-level answers
+// are only overapproximated, because bisimilar targets share their forward
+// language but not their reachability from the query source. See
+// EvalClasses for the precise statement — an instructive boundary of the
+// paper's framework, and the reason its conclusion lists RPQ-embedded
+// patterns as future work. Reachability preserving compression does not
+// preserve RPQs at all (it erases labels); the tests demonstrate both
+// facts.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// node kinds of the parsed regex AST.
+type kind int
+
+const (
+	kLabel kind = iota
+	kCat
+	kAlt
+	kStar
+	kPlus
+	kOpt
+)
+
+type ast struct {
+	k     kind
+	label string
+	kids  []*ast
+}
+
+// Regex is a compiled regular path expression: a Thompson NFA whose
+// transitions consume node labels.
+type Regex struct {
+	src string
+	// trans[q] lists (label, target) transitions; eps[q] lists ε-targets.
+	trans [][]labelEdge
+	eps   [][]int
+	start int
+	acc   int
+}
+
+type labelEdge struct {
+	label string
+	to    int
+}
+
+// Compile parses and compiles a regular path expression.
+func Compile(src string) (*Regex, error) {
+	p := &parser{in: src}
+	tree, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", p.in[p.pos:], p.pos)
+	}
+	r := &Regex{src: src}
+	r.start = r.newState()
+	r.acc = r.newState()
+	r.build(tree, r.start, r.acc)
+	return r, nil
+}
+
+// String returns the source expression.
+func (r *Regex) String() string { return r.src }
+
+func (r *Regex) newState() int {
+	r.trans = append(r.trans, nil)
+	r.eps = append(r.eps, nil)
+	return len(r.trans) - 1
+}
+
+// build wires tree between states from and to (Thompson construction).
+func (r *Regex) build(t *ast, from, to int) {
+	switch t.k {
+	case kLabel:
+		r.trans[from] = append(r.trans[from], labelEdge{t.label, to})
+	case kCat:
+		cur := from
+		for i, kid := range t.kids {
+			next := to
+			if i < len(t.kids)-1 {
+				next = r.newState()
+			}
+			r.build(kid, cur, next)
+			cur = next
+		}
+	case kAlt:
+		for _, kid := range t.kids {
+			r.build(kid, from, to)
+		}
+	case kStar:
+		mid := r.newState()
+		r.eps[from] = append(r.eps[from], mid)
+		r.build(t.kids[0], mid, mid)
+		r.eps[mid] = append(r.eps[mid], to)
+	case kPlus:
+		mid := r.newState()
+		r.build(t.kids[0], from, mid)
+		r.build(t.kids[0], mid, mid)
+		r.eps[mid] = append(r.eps[mid], to)
+	case kOpt:
+		r.eps[from] = append(r.eps[from], to)
+		r.build(t.kids[0], from, to)
+	}
+}
+
+type parser struct {
+	in  string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.in) && p.in[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.in) {
+		return 0
+	}
+	return p.in[p.pos]
+}
+
+func (p *parser) parseExpr() (*ast, error) {
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	kids := []*ast{t}
+	for p.peek() == '|' {
+		p.pos++
+		u, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, u)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &ast{k: kAlt, kids: kids}, nil
+}
+
+func (p *parser) parseTerm() (*ast, error) {
+	var kids []*ast
+	for {
+		c := p.peek()
+		if c == 0 || c == '|' || c == ')' {
+			break
+		}
+		if c == '.' {
+			p.pos++
+			continue
+		}
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, f)
+	}
+	if len(kids) == 0 {
+		return nil, fmt.Errorf("rpq: empty term at offset %d", p.pos)
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return &ast{k: kCat, kids: kids}, nil
+}
+
+func (p *parser) parseFactor() (*ast, error) {
+	a, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek() {
+	case '*':
+		p.pos++
+		return &ast{k: kStar, kids: []*ast{a}}, nil
+	case '+':
+		p.pos++
+		return &ast{k: kPlus, kids: []*ast{a}}, nil
+	case '?':
+		p.pos++
+		return &ast{k: kOpt, kids: []*ast{a}}, nil
+	}
+	return a, nil
+}
+
+func isLabelChar(c byte) bool {
+	return c == '_' || c == '-' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func (p *parser) parseAtom() (*ast, error) {
+	c := p.peek()
+	if c == '(' {
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpq: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && isLabelChar(p.in[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("rpq: expected label at offset %d (got %q)", p.pos, string(c))
+	}
+	return &ast{k: kLabel, label: strings.TrimSpace(p.in[start:p.pos])}, nil
+}
