@@ -156,6 +156,51 @@ func BenchmarkBFSOriginalVsCompressed(b *testing.B) {
 			queries.Reachable(c.Gr, u, v)
 		}
 	})
+	// CSR variants: frozen snapshots with a warm epoch-stamped scratch.
+	// With the scratch warm these run at 0 allocs/op (pinned by
+	// TestReachableCSRZeroAllocs).
+	csrG := g.Freeze()
+	csrGr := c.Gr.Freeze()
+	b.Run("onG_CSR", func(b *testing.B) {
+		s := queries.NewScratch(csrG.NumNodes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			queries.ReachableCSR(csrG, s, p[0], p[1])
+		}
+	})
+	b.Run("onGr_CSR", func(b *testing.B) {
+		s := queries.NewScratch(csrGr.NumNodes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			u, v := c.Rewrite(p[0], p[1])
+			queries.ReachableCSR(csrGr, s, u, v)
+		}
+	})
+	b.Run("onGr_BiCSR", func(b *testing.B) {
+		s := queries.NewScratch(csrGr.NumNodes())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			u, v := c.Rewrite(p[0], p[1])
+			queries.ReachableBiCSR(csrGr, s, u, v)
+		}
+	})
+}
+
+// BenchmarkFreeze measures the cost of taking a CSR snapshot — the price
+// paid once per read-side epoch.
+func BenchmarkFreeze(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Freeze()
+	}
 }
 
 func BenchmarkMatchOriginalVsCompressed(b *testing.B) {

@@ -3,30 +3,57 @@
 //
 // Usage:
 //
-//	qpgcbench [-exp id[,id...]|all] [-scale f] [-seed n] [-pairs n] [-list]
+//	qpgcbench [-exp id[,id...]|all] [-scale f] [-seed n] [-pairs n]
+//	          [-workers n] [-json path] [-list]
 //
 // Experiment ids: table1, table2, fig12a … fig12l. The default scale runs
 // every experiment in seconds-to-minutes on a laptop; absolute timings are
 // not comparable to the paper's 2012 testbed, but every qualitative shape
 // (who wins, by what factor, where crossovers fall) should hold.
+//
+// -workers bounds the pool used by the non-timing sweeps (table1, table2,
+// fig12d); timing experiments always run their measurements sequentially.
+// -json additionally writes the results in machine-readable form (one
+// record per experiment: id, title, header, rows, elapsed ns, config) so
+// the perf trajectory can be tracked as BENCH_*.json files across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 )
 
+// jsonRecord is the machine-readable form of one experiment's result.
+type jsonRecord struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Header    []string   `json:"header"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedNs int64      `json:"elapsed_ns"`
+}
+
+// jsonReport is the top-level structure written by -json.
+type jsonReport struct {
+	Config  harness.Config `json:"config"`
+	Results []jsonRecord   `json:"results"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md sizes)")
-		seed  = flag.Int64("seed", 42, "workload seed")
-		pairs = flag.Int("pairs", 200, "reachability query pairs per dataset")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = DESIGN.md sizes)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		pairs    = flag.Int("pairs", 200, "reachability query pairs per dataset")
+		workers  = flag.Int("workers", 0, "worker pool size for non-timing sweeps (0 = GOMAXPROCS)")
+		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -41,6 +68,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	cfg.Pairs = *pairs
+	cfg.Workers = *workers
 
 	var selected []harness.Experiment
 	if *exp == "all" {
@@ -55,8 +83,34 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
+
+	report := jsonReport{Config: cfg}
 	for _, e := range selected {
+		start := time.Now()
 		tab := e.Run(cfg)
+		elapsed := time.Since(start)
 		tab.Fprint(os.Stdout)
+		report.Results = append(report.Results, jsonRecord{
+			ID:        tab.ID,
+			Title:     tab.Title,
+			Header:    tab.Header,
+			Rows:      tab.Rows,
+			Notes:     tab.Notes,
+			ElapsedNs: elapsed.Nanoseconds(),
+		})
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qpgcbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "qpgcbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "qpgcbench: wrote %s\n", *jsonPath)
 	}
 }

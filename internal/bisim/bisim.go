@@ -42,24 +42,44 @@ func (p *Partition) NumBlocks() int { return len(p.Blocks) }
 // newPartition assembles a Partition from a block id slice, renumbering
 // blocks canonically by their smallest member node so that structurally
 // equal partitions compare equal regardless of the producing algorithm.
+// Raw ids are dense-ish (bounded by the producing engine's block count), so
+// the renumbering uses a slice map, and the member lists are carved out of
+// one flat array by counting sort.
 func newPartition(blockOf []int32) *Partition {
 	n := len(blockOf)
-	// First member of each raw block, in node order, defines the canonical
-	// block numbering.
-	rawToCanon := make(map[int32]int32)
+	maxRaw := int32(-1)
+	for _, raw := range blockOf {
+		if raw > maxRaw {
+			maxRaw = raw
+		}
+	}
+	rawToCanon := make([]int32, maxRaw+1)
+	for i := range rawToCanon {
+		rawToCanon[i] = -1
+	}
 	canonCount := int32(0)
 	canon := make([]int32, n)
 	for v := 0; v < n; v++ {
 		raw := blockOf[v]
-		id, ok := rawToCanon[raw]
-		if !ok {
+		id := rawToCanon[raw]
+		if id < 0 {
 			id = canonCount
 			canonCount++
 			rawToCanon[raw] = id
 		}
 		canon[v] = id
 	}
+	size := make([]int32, canonCount)
+	for _, id := range canon {
+		size[id]++
+	}
+	flat := make([]graph.Node, n)
 	blocks := make([][]graph.Node, canonCount)
+	off := int32(0)
+	for b := int32(0); b < canonCount; b++ {
+		blocks[b] = flat[off : off : off+size[b]]
+		off += size[b]
+	}
 	for v := 0; v < n; v++ {
 		blocks[canon[v]] = append(blocks[canon[v]], graph.Node(v))
 	}

@@ -1,6 +1,8 @@
 package bisim
 
 import (
+	"slices"
+
 	"repro/internal/graph"
 )
 
@@ -48,36 +50,70 @@ const (
 func Compress(g *graph.Graph) *Compressed { return CompressWith(g, EnginePT) }
 
 // CompressWith is Compress with an explicit choice of refinement engine.
-// All engines produce the identical (maximum bisimulation) partition.
+// All engines produce the identical (maximum bisimulation) partition. The
+// Paige–Tarjan path freezes one CSR snapshot and shares it between the
+// refinement and the quotient construction.
 func CompressWith(g *graph.Graph, e Engine) *Compressed {
-	var p *Partition
 	switch e {
 	case EngineNaive:
-		p = RefineNaive(g)
+		return quotient(g.Freeze(), RefineNaive(g))
 	case EngineStratified:
-		p = RefineStratified(g)
+		return quotient(g.Freeze(), RefineStratified(g))
 	default:
-		p = RefinePT(g)
+		c := g.Freeze()
+		return quotient(c, RefinePTCSR(c))
 	}
-	return Quotient(g, p)
 }
 
 // Quotient materializes the compressed graph for an arbitrary bisimulation
 // partition p of g. The label table is shared with g: unlike reachability
 // compression, pattern compression must preserve labels.
 func Quotient(g *graph.Graph, p *Partition) *Compressed {
+	return quotient(g.Freeze(), p)
+}
+
+// quotient builds the compressed graph in bulk: the class edges (including
+// self-loops from intra-class member edges) are projected to packed pairs,
+// sort-deduplicated, and handed to graph.BuildFromSortedAdj — no per-edge
+// sorted insertion and no hash-based dedup.
+func quotient(c *graph.CSR, p *Partition) *Compressed {
 	numBlocks := p.NumBlocks()
-	gr := graph.New(g.Labels())
-	for b := 0; b < numBlocks; b++ {
-		gr.AddNode(g.Label(p.Blocks[b][0]))
-	}
-	g.Edges(func(u, v graph.Node) bool {
-		gr.AddEdge(p.BlockOf[u], p.BlockOf[v])
+	pairs := make([]uint64, 0, c.NumEdges())
+	c.Edges(func(u, v graph.Node) bool {
+		a, b := p.BlockOf[u], p.BlockOf[v]
+		pairs = append(pairs, uint64(uint32(a))<<32|uint64(uint32(b)))
 		return true
 	})
+	slices.Sort(pairs)
+	pairs = slices.Compact(pairs)
+
+	outDeg := make([]int32, numBlocks)
+	for _, pr := range pairs {
+		outDeg[pr>>32]++
+	}
+	flat := make([]graph.Node, len(pairs))
+	rows := make([][]graph.Node, numBlocks)
+	labelArr := make([]graph.Label, numBlocks)
+	off := int32(0)
+	for b := 0; b < numBlocks; b++ {
+		rows[b] = flat[off : off : off+outDeg[b]]
+		off += outDeg[b]
+		labelArr[b] = c.Label(p.Blocks[b][0])
+	}
+	for _, pr := range pairs {
+		a := pr >> 32
+		rows[a] = append(rows[a], graph.Node(uint32(pr)))
+	}
+	gr := graph.BuildFromSortedAdj(c.Labels(), labelArr, rows)
+
+	// Copy the member lists into one flat backing array (the Compressed
+	// value must not alias the partition's storage).
+	memFlat := make([]graph.Node, 0, c.NumNodes())
 	members := make([][]graph.Node, numBlocks)
 	for b := range p.Blocks {
-		members[b] = append([]graph.Node(nil), p.Blocks[b]...)
+		start := len(memFlat)
+		memFlat = append(memFlat, p.Blocks[b]...)
+		members[b] = memFlat[start:len(memFlat):len(memFlat)]
 	}
 	return &Compressed{
 		Gr:      gr,

@@ -9,16 +9,16 @@ import (
 // splitting with per-edge counters and the "process the smaller half"
 // strategy, running in O(|E| log |V|) time — the bound used by Theorem 4
 // of the paper for the compression function R.
-func RefinePT(g *graph.Graph) *Partition {
-	pt := newPTState(g)
+func RefinePT(g *graph.Graph) *Partition { return RefinePTCSR(g.Freeze()) }
+
+// RefinePTCSR is RefinePT over a frozen CSR snapshot. Callers that already
+// hold a snapshot (e.g. CompressWith, which also feeds it to the quotient
+// construction) avoid a second Freeze.
+func RefinePTCSR(c *graph.CSR) *Partition {
+	pt := newPTState(c)
 	pt.run()
 	return newPartition(pt.pblockOf)
 }
-
-// counter counts the edges from one source node into one X-block. Edges
-// share counters: all current edges (x, y) with y in X-block S point to the
-// same counter c(x, S).
-type counter struct{ val int32 }
 
 type pblock struct {
 	nodes  []graph.Node // members; swap-remove order
@@ -34,58 +34,74 @@ type xblock struct {
 }
 
 type ptState struct {
-	g        *graph.Graph
 	pblockOf []int32 // node -> pblock id
 	posInP   []int32 // node -> index within its pblock's nodes
 	pblocks  []pblock
 	xblocks  []xblock
 	queueC   []int32 // compound X-blocks to process
 
-	// Edge-indexed structures. Edge e = (eSrc[e], eDst[e]); inEdges[y]
-	// lists the edge ids with destination y.
-	eSrc, eDst []graph.Node
-	inEdges    [][]int32
-	countRef   []*counter // per edge: counter c(src, X-block of dst)
+	// Edge-indexed structures in CSR in-edge order: edge id e is position e
+	// of the snapshot's flat predecessor array, so eSrc aliases that array
+	// and the edges into y are exactly the id range [inOff[y], inOff[y+1])
+	// — no per-node edge-id lists are materialized at all.
+	eSrc  []graph.Node
+	inOff []int32
+
+	// Counters count the edges from one source node into one X-block; all
+	// current edges (x, y) with y in X-block S share the counter c(x, S).
+	// They live in an int32 arena addressed by index: countRef holds no
+	// pointers, so counter rewrites emit no GC write barriers and the
+	// arena is never scanned.
+	counters []int32
+	countRef []int32 // per edge: arena index of c(src, X-block of dst)
 
 	// Scratch, reused across rounds.
-	countB  []int32    // per node: edges into current splitter B
-	oldCnt  []*counter // per node: representative old counter c(x, S)
-	touched []int32    // pblocks touched by the current split
+	countB     []int32 // per node: edges into current splitter B
+	oldCnt     []int32 // per node: arena index of representative c(x, S)
+	newCntAt   []int32 // per node: arena index of fresh c(x, B), -1 outside a round
+	touched    []int32 // pblocks touched by the current split
+	preB       []graph.Node
+	onlyB      []graph.Node
+	edgesIntoB []int32
 }
 
-func newPTState(g *graph.Graph) *ptState {
-	n := g.NumNodes()
+// newCounter appends a counter with initial value v to the arena and
+// returns its index.
+func (pt *ptState) newCounter(v int32) int32 {
+	pt.counters = append(pt.counters, v)
+	return int32(len(pt.counters) - 1)
+}
+
+func newPTState(c *graph.CSR) *ptState {
+	n := c.NumNodes()
 	pt := &ptState{
-		g:        g,
 		pblockOf: make([]int32, n),
 		posInP:   make([]int32, n),
-		inEdges:  make([][]int32, n),
+		eSrc:     c.InAdj(),
+		inOff:    c.InOffsets(),
 		countB:   make([]int32, n),
-		oldCnt:   make([]*counter, n),
+		oldCnt:   make([]int32, n),
+		newCntAt: make([]int32, n),
 	}
-
-	// Edge arrays.
-	m := g.NumEdges()
-	pt.eSrc = make([]graph.Node, 0, m)
-	pt.eDst = make([]graph.Node, 0, m)
-	g.Edges(func(u, v graph.Node) bool {
-		e := int32(len(pt.eSrc))
-		pt.eSrc = append(pt.eSrc, u)
-		pt.eDst = append(pt.eDst, v)
-		pt.inEdges[v] = append(pt.inEdges[v], e)
-		return true
-	})
+	for i := range pt.newCntAt {
+		pt.newCntAt[i] = -1
+	}
 
 	// One initial counter per node: all its edges lead into the single
 	// X-block V.
-	pt.countRef = make([]*counter, m)
-	perSrc := make([]*counter, n)
+	m := c.NumEdges()
+	pt.counters = make([]int32, 0, n)
+	pt.countRef = make([]int32, m)
+	perSrc := make([]int32, n)
+	for i := range perSrc {
+		perSrc[i] = -1
+	}
 	for e := 0; e < m; e++ {
 		x := pt.eSrc[e]
-		if perSrc[x] == nil {
-			perSrc[x] = &counter{}
+		if perSrc[x] < 0 {
+			perSrc[x] = pt.newCounter(0)
 		}
-		perSrc[x].val++
+		pt.counters[perSrc[x]]++
 		pt.countRef[e] = perSrc[x]
 	}
 
@@ -97,7 +113,7 @@ func newPTState(g *graph.Graph) *ptState {
 	}
 	ids := make(map[key]int32)
 	for v := 0; v < n; v++ {
-		k := key{g.Label(graph.Node(v)), g.OutDegree(graph.Node(v)) == 0}
+		k := key{c.Label(graph.Node(v)), c.OutDegree(graph.Node(v)) == 0}
 		id, ok := ids[k]
 		if !ok {
 			id = int32(len(pt.pblocks))
@@ -159,10 +175,10 @@ func (pt *ptState) step(sid int32) {
 	// Compute pre(B) with multiplicities and remember one representative
 	// old counter c(x, S) per source.
 	bNodes := pt.pblocks[bid].nodes
-	var preB []graph.Node
-	var edgesIntoB []int32
+	preB := pt.preB[:0]
+	edgesIntoB := pt.edgesIntoB[:0]
 	for _, y := range bNodes {
-		for _, e := range pt.inEdges[y] {
+		for e := pt.inOff[y]; e < pt.inOff[y+1]; e++ {
 			x := pt.eSrc[e]
 			if pt.countB[x] == 0 {
 				preB = append(preB, x)
@@ -175,9 +191,9 @@ func (pt *ptState) step(sid int32) {
 
 	// Select, before any counter update, the sources with no edge into
 	// S \ B: countB[x] == c(x, S).
-	var onlyB []graph.Node
+	onlyB := pt.onlyB[:0]
 	for _, x := range preB {
-		if pt.countB[x] == pt.oldCnt[x].val {
+		if pt.countB[x] == pt.counters[pt.oldCnt[x]] {
 			onlyB = append(onlyB, x)
 		}
 	}
@@ -188,23 +204,25 @@ func (pt *ptState) step(sid int32) {
 	pt.splitBy(onlyB)
 
 	// Counter maintenance: edges into B move from c(x,S) to c(x,B).
-	newCnt := make(map[graph.Node]*counter, len(preB))
 	for _, e := range edgesIntoB {
 		x := pt.eSrc[e]
-		c := newCnt[x]
-		if c == nil {
-			c = &counter{val: pt.countB[x]}
-			newCnt[x] = c
+		ci := pt.newCntAt[x]
+		if ci < 0 {
+			ci = pt.newCounter(pt.countB[x])
+			pt.newCntAt[x] = ci
 		}
-		pt.countRef[e].val--
-		pt.countRef[e] = c
+		pt.counters[pt.countRef[e]]--
+		pt.countRef[e] = ci
 	}
 
 	// Reset scratch.
 	for _, x := range preB {
 		pt.countB[x] = 0
-		pt.oldCnt[x] = nil
+		pt.newCntAt[x] = -1
 	}
+	pt.preB = preB[:0]
+	pt.onlyB = onlyB[:0]
+	pt.edgesIntoB = edgesIntoB[:0]
 }
 
 // detachFromX removes P-block bid from its current X-block's list.

@@ -61,6 +61,27 @@ func (s *Set) Or(t *Set) {
 	}
 }
 
+// OrBelow sets s to s ∪ t given the caller's guarantee that every bit of t
+// is < bound: only the word prefix covering [0, bound) is scanned. Used by
+// the descendant DP, whose sets over reverse-topological component ids are
+// confined to [0, comp).
+func (s *Set) OrBelow(t *Set, bound int) {
+	w := (bound + wordBits - 1) / wordBits
+	sw, tw := s.words[:w], t.words[:w]
+	for i, x := range tw {
+		sw[i] |= x
+	}
+}
+
+// OrAbove sets s to s ∪ t given the caller's guarantee that every bit of t
+// is >= bound: words before bound's word are skipped. Mirror of OrBelow for
+// the ancestor DP.
+func (s *Set) OrAbove(t *Set, bound int) {
+	for i := bound / wordBits; i < len(t.words); i++ {
+		s.words[i] |= t.words[i]
+	}
+}
+
 // And sets s to s ∩ t.
 func (s *Set) And(t *Set) {
 	for i, w := range t.words {
@@ -145,10 +166,19 @@ func (s *Set) Hash() (uint64, uint64) {
 	)
 	h1 := uint64(off1)
 	h2 := uint64(off2)
-	for _, w := range s.words {
-		h1 ^= w
+	// Zero words are skipped: the sets hashed in practice —
+	// ancestor/descendant sets over topologically ordered components — are
+	// zero over most of their word range. Mixing the word index into every
+	// nonzero contribution keeps positions significant, so equal sets hash
+	// equally and permuted contents do not.
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		x := w ^ (uint64(i) * 0x9e3779b97f4a7c15)
+		h1 ^= x
 		h1 *= prime1
-		h2 = (h2 ^ bits.RotateLeft64(w, 31)) * prime2
+		h2 = (h2 ^ bits.RotateLeft64(x, 31)) * prime2
 		h2 ^= h2 >> 29
 	}
 	return h1, h2

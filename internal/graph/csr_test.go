@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomGraph builds a random graph including self-loops and isolated
+// nodes: nodes [0,n), each of m attempted edges drawn uniformly (u may
+// equal v), so some nodes stay isolated at low density.
+func randomGraph(rng *rand.Rand, n, m, labels int) *Graph {
+	g := New(nil)
+	for i := 0; i < labels; i++ {
+		g.Labels().Intern(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(Label(rng.Intn(labels)))
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n)))
+	}
+	return g
+}
+
+// TestFreezeAgreesWithGraph: property test that a CSR snapshot agrees with
+// the mutable graph's Successors/Predecessors/degrees/labels on randomized
+// graphs, including self-loops and isolated nodes.
+func TestFreezeAgreesWithGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		g := randomGraph(rng, n, m, 1+rng.Intn(4))
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c := g.Freeze()
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() || c.Size() != g.Size() {
+			t.Fatalf("trial %d: size mismatch: CSR (%d,%d) vs graph (%d,%d)",
+				trial, c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		for v := 0; v < n; v++ {
+			node := Node(v)
+			if c.Label(node) != g.Label(node) {
+				t.Fatalf("trial %d: label mismatch at %d", trial, v)
+			}
+			if !equalNodes(c.Successors(node), g.Successors(node)) {
+				t.Fatalf("trial %d: successors mismatch at %d: %v vs %v",
+					trial, v, c.Successors(node), g.Successors(node))
+			}
+			if !equalNodes(c.Predecessors(node), g.Predecessors(node)) {
+				t.Fatalf("trial %d: predecessors mismatch at %d: %v vs %v",
+					trial, v, c.Predecessors(node), g.Predecessors(node))
+			}
+			if c.OutDegree(node) != g.OutDegree(node) || c.InDegree(node) != g.InDegree(node) {
+				t.Fatalf("trial %d: degree mismatch at %d", trial, v)
+			}
+		}
+		// HasEdge agrees on a sample of pairs.
+		for i := 0; i < 100; i++ {
+			u, v := Node(rng.Intn(n)), Node(rng.Intn(n))
+			if c.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("trial %d: HasEdge(%d,%d) disagrees", trial, u, v)
+			}
+		}
+	}
+}
+
+// TestFreezeIsSnapshot: mutations after Freeze must not show through.
+func TestFreezeIsSnapshot(t *testing.T) {
+	g := New(nil)
+	l := g.Labels().Intern("x")
+	a := g.AddNode(l)
+	b := g.AddNode(l)
+	g.AddEdge(a, b)
+	c := g.Freeze()
+	g.AddEdge(b, a)
+	g.RemoveEdge(a, b)
+	if c.NumEdges() != 1 || !c.HasEdge(a, b) || c.HasEdge(b, a) {
+		t.Fatalf("snapshot reflects post-freeze mutations: %d edges", c.NumEdges())
+	}
+}
+
+// TestThawRoundTrip: Freeze then Thaw reproduces the graph exactly.
+func TestThawRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, 40, 120, 3)
+	h := g.Freeze().Thaw()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumNodes() != g.NumNodes() || h.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if !equalNodes(h.Successors(Node(v)), g.Successors(Node(v))) {
+			t.Fatalf("round trip successors mismatch at %d", v)
+		}
+	}
+}
+
+// TestBuildFromSortedAdj: the bulk constructor produces a valid graph
+// equal to one built edge by edge.
+func TestBuildFromSortedAdj(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Intn(3*n), 2)
+		rows := make([][]Node, n)
+		labelArr := make([]Label, n)
+		for v := 0; v < n; v++ {
+			labelArr[v] = g.Label(Node(v))
+			if s := g.Successors(Node(v)); len(s) > 0 {
+				rows[v] = append([]Node(nil), s...)
+			}
+		}
+		h := BuildFromSortedAdj(g.Labels(), labelArr, rows)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if h.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: edge count %d != %d", trial, h.NumEdges(), g.NumEdges())
+		}
+		for v := 0; v < n; v++ {
+			if !equalNodes(h.Predecessors(Node(v)), g.Predecessors(Node(v))) {
+				t.Fatalf("trial %d: predecessors mismatch at %d", trial, v)
+			}
+		}
+		// Mutating the bulk-built graph must not corrupt neighbors (the
+		// in-rows share one backing array with capacity-limited views).
+		if n >= 2 {
+			h.AddEdge(Node(n-1), Node(0))
+			if err := h.Validate(); err != nil {
+				t.Fatalf("trial %d after AddEdge: %v", trial, err)
+			}
+		}
+	}
+}
+
+func equalNodes(a, b []Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,5 +1,7 @@
 package graph
 
+import "slices"
+
 // SCC holds the strongly-connected-component decomposition of a graph and
 // its condensation (the SCC graph Gscc of Section 5 of the paper).
 //
@@ -13,7 +15,9 @@ type SCC struct {
 	// Members lists the nodes of each component.
 	Members [][]Node
 	// Out and In are the deduplicated adjacency lists of the condensation
-	// (no self-loops at the component level).
+	// (no self-loops at the component level), sorted ascending. The rows
+	// are views into two flat backing arrays (CSR layout) and must not be
+	// modified or appended to.
 	Out, In [][]int32
 	// EdgeSupport counts, for each condensation edge (a,b) with a != b, the
 	// number of member edges (u,v) in E with comp(u)=a, comp(v)=b. Keyed by
@@ -29,9 +33,13 @@ func (s *SCC) NumComponents() int { return len(s.Members) }
 
 // Tarjan computes the strongly connected components of g with an iterative
 // Tarjan algorithm (safe for deep graphs) and returns the decomposition
-// together with the condensation.
-func Tarjan(g *Graph) *SCC {
-	n := g.NumNodes()
+// together with the condensation. It runs over a CSR snapshot; callers that
+// already hold one should use TarjanCSR directly and skip the Freeze.
+func Tarjan(g *Graph) *SCC { return TarjanCSR(g.Freeze()) }
+
+// TarjanCSR is Tarjan over a frozen CSR snapshot.
+func TarjanCSR(c *CSR) *SCC {
+	n := c.NumNodes()
 	const undef = int32(-1)
 	index := make([]int32, n)
 	low := make([]int32, n)
@@ -44,7 +52,7 @@ func Tarjan(g *Graph) *SCC {
 		comp[i] = undef
 	}
 	stack := make([]Node, 0, n)
-	var members [][]Node
+	var compSize []int32
 
 	// Explicit DFS frames: node plus position in its successor list.
 	type frame struct {
@@ -67,7 +75,7 @@ func Tarjan(g *Graph) *SCC {
 
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
-			succ := g.out[f.v]
+			succ := c.Successors(f.v)
 			if f.ei < len(succ) {
 				w := succ[f.ei]
 				f.ei++
@@ -93,51 +101,122 @@ func Tarjan(g *Graph) *SCC {
 				}
 			}
 			if low[v] == index[v] {
-				id := int32(len(members))
-				var ms []Node
+				id := int32(len(compSize))
+				size := int32(0)
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
 					comp[w] = id
-					ms = append(ms, w)
+					size++
 					if w == v {
 						break
 					}
 				}
-				members = append(members, ms)
+				compSize = append(compSize, size)
 			}
 		}
 	}
 
+	// Members rows are carved out of one flat array by counting sort over
+	// node ids (one allocation instead of one per component); each row
+	// comes out sorted ascending.
+	numComp := len(compSize)
+	membersFlat := make([]Node, n)
+	members := make([][]Node, numComp)
+	off := int32(0)
+	for id := 0; id < numComp; id++ {
+		members[id] = membersFlat[off : off : off+compSize[id]]
+		off += compSize[id]
+	}
+	for v := 0; v < n; v++ {
+		id := comp[v]
+		members[id] = append(members[id], Node(v))
+	}
+
 	s := &SCC{
-		Comp:        comp,
-		Members:     members,
-		Out:         make([][]int32, len(members)),
-		In:          make([][]int32, len(members)),
-		EdgeSupport: make(map[[2]int32]int),
-		Cyclic:      make([]bool, len(members)),
+		Comp:    comp,
+		Members: members,
+		Cyclic:  make([]bool, numComp),
 	}
 	for id, ms := range members {
 		if len(ms) > 1 {
 			s.Cyclic[id] = true
 		}
 	}
-	g.Edges(func(u, v Node) bool {
-		a, b := comp[u], comp[v]
-		if a == b {
-			s.Cyclic[a] = true // self-loop or intra-SCC edge
-			return true
+
+	// Condensation: project every edge to a packed component pair, sort,
+	// and dedup — one map insertion per distinct condensation edge instead
+	// of one per graph edge, and the Out/In rows come out sorted inside two
+	// flat backing arrays.
+	pairs := make([]uint64, 0, c.NumEdges())
+	for u := 0; u < n; u++ {
+		a := comp[u]
+		for _, v := range c.Successors(Node(u)) {
+			b := comp[v]
+			if a == b {
+				s.Cyclic[a] = true // self-loop or intra-SCC edge
+				continue
+			}
+			pairs = append(pairs, uint64(uint32(a))<<32|uint64(uint32(b)))
 		}
-		key := [2]int32{a, b}
-		if s.EdgeSupport[key] == 0 {
-			s.Out[a] = append(s.Out[a], b)
-			s.In[b] = append(s.In[b], a)
-		}
-		s.EdgeSupport[key]++
-		return true
-	})
+	}
+	s.Out, s.In, s.EdgeSupport = condense(pairs, len(members))
 	return s
+}
+
+// condense turns packed (a,b) component pairs (a != b, with multiplicity)
+// into sorted CSR-backed Out/In adjacency plus the EdgeSupport counts.
+func condense(pairs []uint64, numComp int) (out, in [][]int32, support map[[2]int32]int) {
+	slices.Sort(pairs)
+	support = make(map[[2]int32]int)
+	// Dedup in place, counting multiplicities.
+	distinct := pairs[:0]
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j] == pairs[i] {
+			j++
+		}
+		a := int32(pairs[i] >> 32)
+		b := int32(uint32(pairs[i]))
+		support[[2]int32{a, b}] = j - i
+		distinct = append(distinct, pairs[i])
+		i = j
+	}
+	out, in = AdjFromSortedPairs(distinct, numComp)
+	return out, in, support
+}
+
+// AdjFromSortedPairs expands sorted, deduplicated packed (a<<32|b) pairs
+// into forward and reverse adjacency rows carved out of two flat backing
+// arrays (capacity-limited views, so a later append reallocates instead of
+// clobbering a neighbor). Rows come out sorted ascending on both sides.
+// Shared by the condensation and the quotient builders.
+func AdjFromSortedPairs(pairs []uint64, n int) (adj, radj [][]int32) {
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, p := range pairs {
+		outDeg[p>>32]++
+		inDeg[uint32(p)]++
+	}
+	outFlat := make([]int32, len(pairs))
+	inFlat := make([]int32, len(pairs))
+	adj = make([][]int32, n)
+	radj = make([][]int32, n)
+	oo, io := int32(0), int32(0)
+	for v := 0; v < n; v++ {
+		adj[v] = outFlat[oo : oo : oo+outDeg[v]]
+		radj[v] = inFlat[io : io : io+inDeg[v]]
+		oo += outDeg[v]
+		io += inDeg[v]
+	}
+	for _, p := range pairs {
+		a := int32(p >> 32)
+		b := int32(uint32(p))
+		adj[a] = append(adj[a], b)
+		radj[b] = append(radj[b], a)
+	}
+	return adj, radj
 }
 
 // TopoRanks returns the topological rank r of every component of the

@@ -23,9 +23,16 @@ func Table1(cfg Config) *Table {
 			"paper averages: RCaho 45.9%, RCscc 18.0%, RCr 5.0%",
 		},
 	}
-	var sumAho, sumScc, sumR float64
-	for _, d := range gen.ReachabilityDatasets() {
-		d = d.Scale(cfg.Scale)
+	// No wall-clock measurements here, so the per-dataset sweeps fan out
+	// over the bounded worker pool; each worker writes only its own slot.
+	datasets := gen.ReachabilityDatasets()
+	type row struct {
+		cells          []string
+		aho, scc, rcrR float64
+	}
+	rows := make([]row, len(datasets))
+	forEachLimit(cfg.Workers, len(datasets), func(i int) {
+		d := datasets[i].Scale(cfg.Scale)
 		g := d.Build(cfg.Seed)
 		aho := reach.AHOReduce(g)
 		sccC := reach.SCCCompress(g)
@@ -33,16 +40,23 @@ func Table1(cfg Config) *Table {
 		rcAho := core.Ratio(g, aho)
 		rcR := core.Ratio(g, c.Gr)
 		rcScc := float64(c.Gr.Size()) / float64(sccC.Gr.Size())
-		sumAho += rcAho
-		sumScc += rcScc
-		sumR += rcR
-		t.Rows = append(t.Rows, []string{
-			d.Name,
-			fmt.Sprintf("%d (%d, %d)", g.Size(), g.NumNodes(), g.NumEdges()),
-			pct(rcAho), pct(rcScc), pct(rcR),
-		})
+		rows[i] = row{
+			cells: []string{
+				d.Name,
+				fmt.Sprintf("%d (%d, %d)", g.Size(), g.NumNodes(), g.NumEdges()),
+				pct(rcAho), pct(rcScc), pct(rcR),
+			},
+			aho: rcAho, scc: rcScc, rcrR: rcR,
+		}
+	})
+	var sumAho, sumScc, sumR float64
+	for _, r := range rows {
+		sumAho += r.aho
+		sumScc += r.scc
+		sumR += r.rcrR
+		t.Rows = append(t.Rows, r.cells)
 	}
-	n := float64(len(gen.ReachabilityDatasets()))
+	n := float64(len(datasets))
 	t.Rows = append(t.Rows, []string{"average", "",
 		pct(sumAho / n), pct(sumScc / n), pct(sumR / n)})
 	return t
@@ -59,19 +73,31 @@ func Table2(cfg Config) *Table {
 			"paper average: PCr 43% (i.e. graphs reduced by 57%)",
 		},
 	}
-	var sum float64
-	for _, d := range gen.PatternDatasets() {
-		d = d.Scale(cfg.Scale)
+	datasets := gen.PatternDatasets()
+	type row struct {
+		cells []string
+		r     float64
+	}
+	rows := make([]row, len(datasets))
+	forEachLimit(cfg.Workers, len(datasets), func(i int) {
+		d := datasets[i].Scale(cfg.Scale)
 		g := d.Build(cfg.Seed)
 		c := bisim.Compress(g)
 		r := core.Ratio(g, c.Gr)
-		sum += r
-		t.Rows = append(t.Rows, []string{
-			d.Name,
-			fmt.Sprintf("%d (%d, %d, %d)", g.Size(), g.NumNodes(), g.NumEdges(), g.Labels().Count()),
-			pct(r),
-		})
+		rows[i] = row{
+			cells: []string{
+				d.Name,
+				fmt.Sprintf("%d (%d, %d, %d)", g.Size(), g.NumNodes(), g.NumEdges(), g.Labels().Count()),
+				pct(r),
+			},
+			r: r,
+		}
+	})
+	var sum float64
+	for _, r := range rows {
+		sum += r.r
+		t.Rows = append(t.Rows, r.cells)
 	}
-	t.Rows = append(t.Rows, []string{"average", "", pct(sum / float64(len(gen.PatternDatasets())))})
+	t.Rows = append(t.Rows, []string{"average", "", pct(sum / float64(len(datasets)))})
 	return t
 }

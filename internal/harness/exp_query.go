@@ -153,20 +153,25 @@ func Fig12d(cfg Config) *Table {
 		Notes:  []string{"paper: Gr cuts ≥92% of G's memory; 2-hop over G dwarfs both"},
 	}
 	kb := func(b int64) string { return fmt.Sprintf("%.1f", float64(b)/1024) }
-	for _, name := range fig12dDatasets {
+	// Memory accounting only — no timings — so the sweep fans out over the
+	// worker pool.
+	rows := make([][]string, len(fig12dDatasets))
+	forEachLimit(cfg.Workers, len(fig12dDatasets), func(i int) {
+		name := fig12dDatasets[i]
 		d, _ := gen.DatasetByName(name)
 		d = d.Scale(cfg.Scale)
 		g := d.Build(cfg.Seed)
 		c := reach.Compress(g)
 		idxG := hop2.Build(g)
 		idxGr := hop2.Build(c.Gr)
-		t.Rows = append(t.Rows, []string{
+		rows[i] = []string{
 			name,
 			kb(hop2.GraphMemoryBytes(g)),
 			kb(hop2.GraphMemoryBytes(c.Gr)),
 			kb(idxG.MemoryBytes()),
 			kb(idxGr.MemoryBytes()),
-		})
-	}
+		}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }

@@ -10,8 +10,11 @@ package harness
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +30,12 @@ type Config struct {
 	Pairs int
 	// MatchRounds repeats each Match call to stabilize timings.
 	MatchRounds int
+	// Workers bounds the worker pool used by experiments whose
+	// per-dataset work involves no wall-clock timing (the compression
+	// ratio and memory sweeps): 0 means GOMAXPROCS, 1 forces sequential.
+	// Timing experiments always run sequentially regardless, so
+	// concurrent load cannot pollute measurements.
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -132,6 +141,41 @@ func IDs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// forEachLimit runs fn(0..n-1) on a bounded pool of workers (<= 0 means
+// GOMAXPROCS). Workers pull indexes from a shared counter, so skew between
+// dataset sizes does not idle the pool. fn must write only to its own
+// index's result slot.
+func forEachLimit(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // timeIt measures the wall time of fn.

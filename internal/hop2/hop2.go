@@ -16,7 +16,7 @@
 package hop2
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -30,8 +30,13 @@ type Index struct {
 }
 
 // Build constructs the index for g.
-func Build(g *graph.Graph) *Index {
-	s := graph.Tarjan(g)
+func Build(g *graph.Graph) *Index { return BuildCSR(g.Freeze()) }
+
+// BuildCSR constructs the index from a frozen CSR snapshot; the pruned
+// BFS passes then run over the snapshot's condensation, whose adjacency
+// rows are views into flat arrays.
+func BuildCSR(c *graph.CSR) *Index {
+	s := graph.TarjanCSR(c)
 	n := s.NumComponents()
 	idx := &Index{
 		comp:   s.Comp,
@@ -46,14 +51,13 @@ func Build(g *graph.Graph) *Index {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
+	slices.SortFunc(order, func(a, b int32) int {
 		da := len(s.Out[a]) + len(s.In[a])
 		db := len(s.Out[b]) + len(s.In[b])
 		if da != db {
-			return da > db
+			return db - da
 		}
-		return a < b
+		return int(a - b)
 	})
 
 	visited := make([]bool, n)
@@ -116,9 +120,9 @@ func Build(g *graph.Graph) *Index {
 		idx.lout[hub] = append(idx.lout[hub], hub)
 		idx.lin[hub] = append(idx.lin[hub], hub)
 	}
-	for c := 0; c < n; c++ {
-		sort.Slice(idx.lout[c], func(i, j int) bool { return idx.lout[c][i] < idx.lout[c][j] })
-		sort.Slice(idx.lin[c], func(i, j int) bool { return idx.lin[c][i] < idx.lin[c][j] })
+	for comp := 0; comp < n; comp++ {
+		slices.Sort(idx.lout[comp])
+		slices.Sort(idx.lin[comp])
 	}
 	return idx
 }

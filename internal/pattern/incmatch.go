@@ -73,8 +73,9 @@ func (m *IncMatcher) Apply(batch []graph.Update) {
 		// There was no match and deletions cannot create one.
 		return
 	}
-	// Deletions only: refine the previous match downward.
-	m.ok = refineToFixpoint(m.g, m.p, m.sim, m.size)
+	// Deletions only: refine the previous match downward. The O(|V|+|E|)
+	// re-freeze is dwarfed by even one ReverseWithin pass of the fixpoint.
+	m.ok = refineToFixpoint(m.g.Freeze(), m.p, m.sim, m.size)
 }
 
 func (m *IncMatcher) rematch() {
@@ -97,5 +98,5 @@ func (m *IncMatcher) rematch() {
 			return
 		}
 	}
-	m.ok = refineToFixpoint(m.g, m.p, m.sim, m.size)
+	m.ok = refineToFixpoint(m.g.Freeze(), m.p, m.sim, m.size)
 }

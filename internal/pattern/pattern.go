@@ -126,18 +126,25 @@ func (r *Result) Size() int {
 // sim(u) with the set of nodes having a nonempty path of length <= k to
 // some current member of sim(u'), for every pattern edge (u,u',k), until
 // stable. Boolean pattern queries use Match(...).OK.
-func Match(g *graph.Graph, p *Pattern) *Result {
-	np := p.NumNodes()
-	n := g.NumNodes()
+func Match(g *graph.Graph, p *Pattern) *Result { return MatchCSR(g.Freeze(), p) }
 
-	// Resolve label candidates.
+// MatchCSR is Match over a frozen CSR snapshot. The Freeze is O(|V|+|E|)
+// while the fixpoint is not, so Match simply freezes and delegates; callers
+// evaluating many patterns against one snapshot should freeze once and call
+// MatchCSR directly.
+func MatchCSR(c *graph.CSR, p *Pattern) *Result {
+	np := p.NumNodes()
+	n := c.NumNodes()
+
+	// Resolve label candidates. The label array scan is one pass per
+	// pattern node over flat memory.
 	sim := make([][]bool, np)
 	size := make([]int, np)
 	for u := 0; u < np; u++ {
 		sim[u] = make([]bool, n)
-		if id, ok := g.Labels().Lookup(p.labels[u]); ok {
+		if id, ok := c.Labels().Lookup(p.labels[u]); ok {
 			for v := 0; v < n; v++ {
-				if g.Label(graph.Node(v)) == id {
+				if c.Label(graph.Node(v)) == id {
 					sim[u][v] = true
 					size[u]++
 				}
@@ -148,24 +155,24 @@ func Match(g *graph.Graph, p *Pattern) *Result {
 		}
 	}
 
-	if !refineToFixpoint(g, p, sim, size) {
+	if !refineToFixpoint(c, p, sim, size) {
 		return &Result{OK: false}
 	}
 	return resultFromSim(sim, size)
 }
 
-// refineToFixpoint runs the greatest-fixpoint refinement in place. It
-// returns false as soon as some pattern node's candidate set empties.
-// Starting sets may be any superset of the maximum match; refinement is
-// deflationary and converges to the maximum match (see incmatch.go for why
-// this also powers incremental deletion maintenance).
-func refineToFixpoint(g *graph.Graph, p *Pattern, sim [][]bool, size []int) bool {
-	n := g.NumNodes()
+// refineToFixpoint runs the greatest-fixpoint refinement in place over a
+// CSR snapshot. It returns false as soon as some pattern node's candidate
+// set empties. Starting sets may be any superset of the maximum match;
+// refinement is deflationary and converges to the maximum match (see
+// incmatch.go for why this also powers incremental deletion maintenance).
+func refineToFixpoint(c *graph.CSR, p *Pattern, sim [][]bool, size []int) bool {
+	n := c.NumNodes()
 	for changed := true; changed; {
 		changed = false
 		for u := int32(0); u < int32(p.NumNodes()); u++ {
 			for _, e := range p.adj[u] {
-				allowed := queries.ReverseWithin(g, sim[e.To], e.Bound)
+				allowed := queries.ReverseWithinCSR(c, sim[e.To], e.Bound)
 				for v := 0; v < n; v++ {
 					if sim[u][v] && !allowed[v] {
 						sim[u][v] = false

@@ -1,0 +1,185 @@
+package queries
+
+import (
+	"repro/internal/graph"
+)
+
+// Scratch is reusable traversal state for the CSR-backed query functions.
+// Visited marks are epoch-stamped: each query bumps the epoch instead of
+// clearing the mark arrays, so a warm Scratch makes repeated queries over
+// the same snapshot allocate nothing at all. A Scratch is owned by one
+// goroutine; concurrent queries each use their own.
+type Scratch struct {
+	fwd, bwd []uint32 // per node: epoch at which the mark was set
+	epoch    uint32
+	queue    []graph.Node
+	next     []graph.Node
+}
+
+// NewScratch returns a Scratch pre-sized for an n-node graph. Scratches
+// grow on demand, so sizing is an optimization, not a requirement.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		fwd:   make([]uint32, n),
+		bwd:   make([]uint32, n),
+		queue: make([]graph.Node, 0, 64),
+		next:  make([]graph.Node, 0, 64),
+	}
+}
+
+// begin readies the scratch for a query over an n-node graph: grows the
+// mark arrays if needed and advances the epoch, zeroing marks only on
+// wraparound (once per 2³²-1 queries).
+func (s *Scratch) begin(n int) {
+	if len(s.fwd) < n {
+		s.fwd = make([]uint32, n)
+		s.bwd = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale marks could alias the new epoch
+		clear(s.fwd)
+		clear(s.bwd)
+		s.epoch = 1
+	}
+}
+
+// ReachableCSR answers QR(u,v) on a CSR snapshot with the same BFS as
+// Reachable, using s for visited marks and the queue. With a warm scratch
+// the query performs zero heap allocations.
+func ReachableCSR(c *graph.CSR, s *Scratch, u, v graph.Node) bool {
+	s.begin(c.NumNodes())
+	epoch := s.epoch
+	queue := s.queue[:0]
+	for _, w := range c.Successors(u) {
+		if w == v {
+			s.queue = queue
+			return true
+		}
+		if s.fwd[w] != epoch {
+			s.fwd[w] = epoch
+			queue = append(queue, w)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		for _, w := range c.Successors(queue[i]) {
+			if w == v {
+				s.queue = queue
+				return true
+			}
+			if s.fwd[w] != epoch {
+				s.fwd[w] = epoch
+				queue = append(queue, w)
+			}
+		}
+	}
+	s.queue = queue
+	return false
+}
+
+// ReachableBiCSR answers QR(u,v) with the bidirectional BFS of ReachableBi
+// on a CSR snapshot, allocation-free with a warm scratch.
+func ReachableBiCSR(c *graph.CSR, s *Scratch, u, v graph.Node) bool {
+	s.begin(c.NumNodes())
+	epoch := s.epoch
+	fwd := s.queue[:0]
+	bwd := s.next[:0]
+	// Give the grown queues back to the scratch on every exit path so the
+	// capacity is retained for the next query.
+	done := func(r bool) bool {
+		s.queue, s.next = fwd, bwd
+		return r
+	}
+
+	// Seed frontiers with the successors of u and predecessors of v so
+	// that only nonempty paths count.
+	for _, w := range c.Successors(u) {
+		if w == v {
+			return done(true)
+		}
+		if s.fwd[w] != epoch {
+			s.fwd[w] = epoch
+			fwd = append(fwd, w)
+		}
+	}
+	for _, w := range c.Predecessors(v) {
+		if s.fwd[w] == epoch {
+			return done(true)
+		}
+		if s.bwd[w] != epoch {
+			s.bwd[w] = epoch
+			bwd = append(bwd, w)
+		}
+	}
+
+	// Expand the smaller frontier each round. Frontiers are consumed from
+	// the front (lo index) and the new frontier is appended behind, so each
+	// slice acts as its own queue without per-level reallocation.
+	fLo, bLo := 0, 0
+	for fLo < len(fwd) && bLo < len(bwd) {
+		if len(fwd)-fLo <= len(bwd)-bLo {
+			hi := len(fwd)
+			for ; fLo < hi; fLo++ {
+				for _, w := range c.Successors(fwd[fLo]) {
+					if s.bwd[w] == epoch {
+						return done(true)
+					}
+					if s.fwd[w] != epoch {
+						s.fwd[w] = epoch
+						fwd = append(fwd, w)
+					}
+				}
+			}
+		} else {
+			hi := len(bwd)
+			for ; bLo < hi; bLo++ {
+				for _, w := range c.Predecessors(bwd[bLo]) {
+					if s.fwd[w] == epoch {
+						return done(true)
+					}
+					if s.bwd[w] != epoch {
+						s.bwd[w] = epoch
+						bwd = append(bwd, w)
+					}
+				}
+			}
+		}
+	}
+	return done(false)
+}
+
+// ReverseWithinCSR is ReverseWithin over a CSR snapshot: it marks every
+// node with a nonempty path of length at most bound to some node in
+// targets. Unlike the scratch-based point queries it returns a fresh
+// result slice, since callers (bounded simulation) retain the result.
+func ReverseWithinCSR(c *graph.CSR, targets []bool, bound int) []bool {
+	n := c.NumNodes()
+	result := make([]bool, n)
+	frontier := make([]graph.Node, 0, 64)
+	for v := 0; v < n; v++ {
+		if !targets[v] {
+			continue
+		}
+		for _, p := range c.Predecessors(graph.Node(v)) {
+			if !result[p] {
+				result[p] = true
+				frontier = append(frontier, p)
+			}
+		}
+	}
+	level := 1
+	for len(frontier) > 0 && (bound == Unbounded || level < bound) {
+		var next []graph.Node
+		for _, x := range frontier {
+			for _, p := range c.Predecessors(x) {
+				if !result[p] {
+					result[p] = true
+					next = append(next, p)
+				}
+			}
+		}
+		frontier = next
+		level++
+	}
+	return result
+}

@@ -1,0 +1,119 @@
+package queries
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestCSRQueriesAgreeWithGraphQueries: the scratch-based CSR overloads
+// must answer exactly as the mutable-graph BFS variants on randomized
+// graphs (cycles, self-loops, isolated nodes).
+func TestCSRQueriesAgreeWithGraphQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(3*n))
+		c := g.Freeze()
+		s := NewScratch(0) // deliberately undersized: must grow on demand
+		for i := 0; i < 120; i++ {
+			u, v := graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n))
+			want := Reachable(g, u, v)
+			if got := ReachableCSR(c, s, u, v); got != want {
+				t.Fatalf("trial %d: ReachableCSR(%d,%d) = %v, want %v", trial, u, v, got, want)
+			}
+			if got := ReachableBiCSR(c, s, u, v); got != want {
+				t.Fatalf("trial %d: ReachableBiCSR(%d,%d) = %v, want %v", trial, u, v, got, want)
+			}
+		}
+		// ReverseWithinCSR against ReverseWithin for assorted bounds.
+		targets := make([]bool, n)
+		for v := 0; v < n; v++ {
+			targets[v] = rng.Intn(4) == 0
+		}
+		for _, bound := range []int{1, 2, 3, Unbounded} {
+			want := ReverseWithin(g, targets, bound)
+			got := ReverseWithinCSR(c, targets, bound)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d: ReverseWithinCSR bound %d differs at node %d", trial, bound, v)
+				}
+			}
+		}
+	}
+}
+
+// TestScratchEpochWraparound: after the uint32 epoch wraps, stale marks
+// must not leak into fresh queries.
+func TestScratchEpochWraparound(t *testing.T) {
+	g := graph.New(nil)
+	l := g.Labels().Intern("x")
+	a := g.AddNode(l)
+	b := g.AddNode(l)
+	cNode := g.AddNode(l)
+	g.AddEdge(a, b) // c is disconnected
+	c := g.Freeze()
+	s := NewScratch(3)
+	if !ReachableCSR(c, s, a, b) {
+		t.Fatal("a should reach b")
+	}
+	s.epoch = ^uint32(0) - 1 // two queries from wrapping
+	for i := 0; i < 4; i++ {
+		if ReachableCSR(c, s, a, cNode) {
+			t.Fatalf("query %d around wraparound: a must not reach c", i)
+		}
+		if !ReachableBiCSR(c, s, a, b) {
+			t.Fatalf("query %d around wraparound: a must reach b", i)
+		}
+	}
+}
+
+// buildAllocGraph returns a social-like random graph and query pairs for
+// the allocation-regression guards.
+func buildAllocGraph(n, m int) (*graph.CSR, [][2]graph.Node) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomGraph(rng, n, m)
+	pairs := make([][2]graph.Node, 64)
+	for i := range pairs {
+		pairs[i] = [2]graph.Node{graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n))}
+	}
+	return g.Freeze(), pairs
+}
+
+// TestReachableCSRZeroAllocs pins CSR BFS with a warm scratch at exactly
+// zero allocations per query — the property the compressed-graph query
+// path depends on under load.
+func TestReachableCSRZeroAllocs(t *testing.T) {
+	c, pairs := buildAllocGraph(800, 3200)
+	s := NewScratch(c.NumNodes())
+	// Warm: let the queue backing arrays reach steady-state capacity.
+	for _, p := range pairs {
+		ReachableCSR(c, s, p[0], p[1])
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		ReachableCSR(c, s, p[0], p[1])
+	}); avg != 0 {
+		t.Fatalf("ReachableCSR with warm scratch: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestReachableBiCSRZeroAllocs is the bidirectional counterpart.
+func TestReachableBiCSRZeroAllocs(t *testing.T) {
+	c, pairs := buildAllocGraph(800, 3200)
+	s := NewScratch(c.NumNodes())
+	for _, p := range pairs {
+		ReachableBiCSR(c, s, p[0], p[1])
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		ReachableBiCSR(c, s, p[0], p[1])
+	}); avg != 0 {
+		t.Fatalf("ReachableBiCSR with warm scratch: %v allocs/op, want 0", avg)
+	}
+}

@@ -35,7 +35,8 @@ func descendantDP(s *graph.SCC, fn func(comp int32, desc *bitset.Set)) {
 	for a := 0; a < n; a++ {
 		d := alloc()
 		for _, b := range s.Out[a] {
-			d.Or(sets[b])
+			// desc(b) ⊆ [0, b): component ids descend along edges.
+			d.OrBelow(sets[b], int(b))
 			d.Set(int(b))
 			remaining[b]--
 			if remaining[b] == 0 {
@@ -76,7 +77,8 @@ func ancestorDP(s *graph.SCC, fn func(comp int32, anc *bitset.Set)) {
 	for b := n - 1; b >= 0; b-- {
 		x := alloc()
 		for _, a := range s.In[b] {
-			x.Or(sets[a])
+			// anc(a) ⊆ (a, n): component ids ascend against edges.
+			x.OrAbove(sets[a], int(a))
 			x.Set(int(a))
 			remaining[a]--
 			if remaining[a] == 0 {

@@ -2,6 +2,8 @@ package reach
 
 import (
 	"fmt"
+	"slices"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
@@ -79,12 +81,21 @@ func SetCounts(scc *graph.SCC) (descCount, ancCount []int32) {
 	n := scc.NumComponents()
 	descCount = make([]int32, n)
 	ancCount = make([]int32, n)
-	descendantDP(scc, func(comp int32, d *bitset.Set) {
-		descCount[comp] = int32(d.Count())
-	})
-	ancestorDP(scc, func(comp int32, a *bitset.Set) {
-		ancCount[comp] = int32(a.Count())
-	})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		descendantDP(scc, func(comp int32, d *bitset.Set) {
+			descCount[comp] = int32(d.Count())
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		ancestorDP(scc, func(comp int32, a *bitset.Set) {
+			ancCount[comp] = int32(a.Count())
+		})
+	}()
+	wg.Wait()
 	return
 }
 
@@ -94,21 +105,33 @@ func compressFromSCC(g *graph.Graph, scc *graph.SCC) *Compressed {
 	n := scc.NumComponents()
 
 	// Group trivial SCCs by strict descendant set, then by strict ancestor
-	// set; cyclic SCCs are singleton classes (package doc, fact 2).
+	// set; cyclic SCCs are singleton classes (package doc, fact 2). The two
+	// DP+grouping passes are independent — one walks the condensation sinks
+	// to sources, the other sources to sinks, each owning its grouper — so
+	// they run concurrently.
 	descGroup := make([]int32, n)
 	ancGroup := make([]int32, n)
-	dg := newSetGrouper()
-	descendantDP(scc, func(comp int32, desc *bitset.Set) {
-		if !scc.Cyclic[comp] {
-			descGroup[comp] = int32(dg.groupOf(desc))
-		}
-	})
-	ag := newSetGrouper()
-	ancestorDP(scc, func(comp int32, anc *bitset.Set) {
-		if !scc.Cyclic[comp] {
-			ancGroup[comp] = int32(ag.groupOf(anc))
-		}
-	})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		dg := newSetGrouper()
+		descendantDP(scc, func(comp int32, desc *bitset.Set) {
+			if !scc.Cyclic[comp] {
+				descGroup[comp] = int32(dg.groupOf(desc))
+			}
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		ag := newSetGrouper()
+		ancestorDP(scc, func(comp int32, anc *bitset.Set) {
+			if !scc.Cyclic[comp] {
+				ancGroup[comp] = int32(ag.groupOf(anc))
+			}
+		})
+	}()
+	wg.Wait()
 
 	// Assign class ids: one per cyclic SCC, one per (descGroup, ancGroup)
 	// pair of trivial SCCs.
@@ -164,20 +187,23 @@ func compressFromSCC(g *graph.Graph, scc *graph.SCC) *Compressed {
 // deduplicated inter-class edges with transitive reduction applied, and
 // self-loops on cyclic classes. Exported for the incremental maintainer,
 // which produces the class adjacency from its own bookkeeping.
+//
+// Candidate edges are deduplicated by a packed-pair sort rather than a
+// hash map, the reduction runs one pooled pass in reverse topological order
+// (peak bitset memory proportional to the antichain width of the class DAG,
+// not |Vr|²), and the final graph is assembled in bulk with
+// graph.BuildFromSortedAdj — no per-edge sorted insertion.
 func BuildQuotientGraph(rawAdj [][]int32, cyclic []bool) *graph.Graph {
 	numClasses := len(rawAdj)
 	labels := graph.NewLabels()
 	sigma := labels.Intern(SigmaLabel)
-	gr := graph.New(labels)
-	for i := 0; i < numClasses; i++ {
-		gr.AddNode(sigma)
-	}
 
-	// Deduplicate candidate class edges.
-	type edge struct{ a, b int32 }
-	seen := make(map[edge]bool)
-	var adj = make([][]int32, numClasses)
-	var radj = make([][]int32, numClasses)
+	// Deduplicate candidate class edges by sorting packed pairs.
+	nPairs := 0
+	for a := range rawAdj {
+		nPairs += len(rawAdj[a])
+	}
+	pairs := make([]uint64, 0, nPairs)
 	for a := range rawAdj {
 		ca := int32(a)
 		for _, cb := range rawAdj[a] {
@@ -186,51 +212,97 @@ func BuildQuotientGraph(rawAdj [][]int32, cyclic []bool) *graph.Graph {
 				// defensive: ignore rather than create a spurious loop.
 				continue
 			}
-			e := edge{ca, cb}
-			if !seen[e] {
-				seen[e] = true
-				adj[ca] = append(adj[ca], cb)
-				radj[cb] = append(radj[cb], ca)
-			}
+			pairs = append(pairs, uint64(uint32(ca))<<32|uint64(uint32(cb)))
 		}
 	}
+	slices.Sort(pairs)
+	pairs = slices.Compact(pairs)
+	adj, radj := graph.AdjFromSortedPairs(pairs, numClasses)
 
 	// Topological order of the class DAG (Kahn).
 	order := topoOrder(adj, radj, numClasses)
 
-	// Transitive reduction: keep edge (a,b) iff b is not a descendant of
-	// any other child of a. Class descendant bitsets are computed in
-	// reverse topological order.
+	// Transitive reduction in one pooled pass over reverse topological
+	// order (children before parents): with u = ⋃_{b ∈ adj(a)} desc(b),
+	// edge (a,b) is redundant iff b ∈ u (b ∈ desc(b) is impossible in a
+	// DAG, so a child never masks its own edge); desc(a) is then u plus the
+	// children themselves. Sets are released to a pool once every parent
+	// has consumed them.
 	desc := make([]*bitset.Set, numClasses)
+	remaining := make([]int, numClasses)
+	for b := 0; b < numClasses; b++ {
+		remaining[b] = len(radj[b])
+	}
+	var pool []*bitset.Set
+	alloc := func() *bitset.Set {
+		if len(pool) > 0 {
+			set := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			set.Reset()
+			return set
+		}
+		return bitset.New(numClasses)
+	}
+	kept := make([]uint64, 0, len(pairs))
 	for i := len(order) - 1; i >= 0; i-- {
 		a := order[i]
-		d := bitset.New(numClasses)
+		d := alloc()
 		for _, b := range adj[a] {
 			d.Or(desc[b])
-			d.Set(int(b))
-		}
-		desc[a] = d
-	}
-	for a := int32(0); a < int32(numClasses); a++ {
-		// Union of descendants of all children of a; an edge (a,b) is
-		// redundant iff b appears there (b ∈ desc(b) is impossible in a
-		// DAG, so the child b itself never masks its own edge).
-		u := bitset.New(numClasses)
-		for _, b := range adj[a] {
-			u.Or(desc[b])
 		}
 		for _, b := range adj[a] {
-			if !u.Has(int(b)) {
-				gr.AddEdge(a, b)
+			if !d.Has(int(b)) {
+				kept = append(kept, uint64(uint32(a))<<32|uint64(uint32(b)))
 			}
 		}
-	}
-	for cls := 0; cls < numClasses; cls++ {
-		if cyclic[cls] {
-			gr.AddEdge(int32(cls), int32(cls))
+		for _, b := range adj[a] {
+			d.Set(int(b))
+			remaining[b]--
+			if remaining[b] == 0 {
+				pool = append(pool, desc[b])
+				desc[b] = nil
+			}
+		}
+		desc[a] = d
+		if remaining[a] == 0 {
+			pool = append(pool, d)
+			desc[a] = nil
 		}
 	}
-	return gr
+	slices.Sort(kept) // reduction visited classes in reverse-topo order
+
+	// Assemble the rows (kept edges plus self-loops on cyclic classes) into
+	// one flat backing array and bulk-build the graph.
+	total := len(kept)
+	for cls := 0; cls < numClasses; cls++ {
+		if cyclic[cls] {
+			total++
+		}
+	}
+	flat := make([]graph.Node, 0, total)
+	rows := make([][]graph.Node, numClasses)
+	labelArr := make([]graph.Label, numClasses)
+	i := 0
+	for a := int32(0); a < int32(numClasses); a++ {
+		labelArr[a] = sigma
+		start := len(flat)
+		placedSelf := !cyclic[a]
+		for ; i < len(kept) && int32(kept[i]>>32) == a; i++ {
+			b := graph.Node(uint32(kept[i]))
+			if !placedSelf && a < b {
+				flat = append(flat, a)
+				placedSelf = true
+			}
+			flat = append(flat, b)
+		}
+		if !placedSelf {
+			flat = append(flat, a)
+		}
+		if len(flat) > start {
+			rows[a] = flat[start:len(flat):len(flat)]
+		}
+	}
+	return graph.BuildFromSortedAdj(labels, labelArr, rows)
 }
 
 // topoOrder returns a topological order (sources first) of the DAG given by

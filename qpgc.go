@@ -59,6 +59,19 @@ type (
 	Update = graph.Update
 )
 
+// Read-optimized snapshot types.
+type (
+	// CSR is a frozen compressed-sparse-row snapshot of a Graph: immutable,
+	// flat-array adjacency, safe for concurrent readers. Obtain one with
+	// Graph.Freeze(); all read-only hot paths (compression, BFS, matching,
+	// indexing) run on it.
+	CSR = graph.CSR
+	// QueryScratch is reusable, epoch-stamped traversal state for the
+	// CSR-backed point queries: with a warm scratch, repeated queries over
+	// one snapshot allocate nothing.
+	QueryScratch = queries.Scratch
+)
+
 // Compression results.
 type (
 	// ReachCompressed is the <R,F> result of reachability preserving
@@ -120,6 +133,25 @@ func Reachable(g *Graph, u, v Node) bool { return queries.Reachable(g, u, v) }
 
 // ReachableBi answers QR(u,v) by bidirectional BFS.
 func ReachableBi(g *Graph, u, v Node) bool { return queries.ReachableBi(g, u, v) }
+
+// NewQueryScratch returns traversal scratch pre-sized for an n-node graph,
+// for use with the CSR-backed query functions.
+func NewQueryScratch(n int) *QueryScratch { return queries.NewScratch(n) }
+
+// ReachableCSR answers QR(u,v) on a frozen snapshot; allocation-free with
+// a warm scratch.
+func ReachableCSR(c *CSR, s *QueryScratch, u, v Node) bool {
+	return queries.ReachableCSR(c, s, u, v)
+}
+
+// ReachableBiCSR answers QR(u,v) by bidirectional BFS on a frozen
+// snapshot; allocation-free with a warm scratch.
+func ReachableBiCSR(c *CSR, s *QueryScratch, u, v Node) bool {
+	return queries.ReachableBiCSR(c, s, u, v)
+}
+
+// MatchCSR computes the maximum match of p over a frozen snapshot.
+func MatchCSR(c *CSR, p *Pattern) *MatchResult { return pattern.MatchCSR(c, p) }
 
 // NewPattern returns an empty pattern query.
 func NewPattern() *Pattern { return pattern.New() }
