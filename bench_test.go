@@ -20,6 +20,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/queries"
 	"repro/internal/reach"
+	"repro/internal/store"
 )
 
 // benchConfig is the scale used by the experiment benchmarks.
@@ -247,6 +248,117 @@ func BenchmarkIncPCMApplyBatch(b *testing.B) {
 		b.StartTimer()
 		m.Apply(batch)
 		m.Compressed()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Concurrent store benchmarks (b.RunParallel): the serve-while-updating
+// regime. Reads go through the full store path — snapshot load, pooled
+// scratch, rewrite, bidirectional BFS.
+
+func storePairs(g *graph.Graph) [][2]graph.Node {
+	return gen.RandomNodePairs(rand.New(rand.NewSource(7)), g, 512)
+}
+
+// BenchmarkStoreReachableParallel measures concurrent point reads on the
+// compressed graph with no write stream.
+func BenchmarkStoreReachableParallel(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	pairs := storePairs(g)
+	s := store.Open(g, nil)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			p := pairs[i%len(pairs)]
+			s.Reachable(p[0], p[1])
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreReachableOnGParallel is the uncompressed baseline for
+// BenchmarkStoreReachableParallel.
+func BenchmarkStoreReachableOnGParallel(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	pairs := storePairs(g)
+	s := store.Open(g, nil)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			p := pairs[i%len(pairs)]
+			s.ReachableOnG(p[0], p[1])
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreReadsUnderWrites measures concurrent compressed reads while
+// a writer goroutine applies mixed 32-update batches back to back — reads
+// never block, but they do share the machine with incremental maintenance
+// and snapshot rebuilds.
+func BenchmarkStoreReadsUnderWrites(b *testing.B) {
+	g := socialGraph(4000, 24000)
+	mirror := g.Clone()
+	pairs := storePairs(g)
+	s := store.Open(g, nil)
+	defer s.Close()
+	stop := make(chan struct{})
+	writerIdle := make(chan struct{})
+	go func() {
+		defer close(writerIdle)
+		rng := rand.New(rand.NewSource(8))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := gen.RandomBatch(rng, mirror, 32, 0.5)
+			mirror.Apply(batch)
+			if _, err := s.ApplyBatch(batch); err != nil {
+				return
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Int()
+		for pb.Next() {
+			p := pairs[i%len(pairs)]
+			s.Reachable(p[0], p[1])
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-writerIdle
+}
+
+// BenchmarkStoreApplyBatch measures write-side cost per published epoch:
+// incremental maintenance of both quotients plus the snapshot rebuild.
+func BenchmarkStoreApplyBatch(b *testing.B) {
+	g := socialGraph(3000, 18000)
+	mirror := g.Clone()
+	s := store.Open(g, nil)
+	defer s.Close()
+	rng := rand.New(rand.NewSource(9))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := gen.RandomBatch(rng, mirror, 64, 0.5)
+		mirror.Apply(batch)
+		b.StartTimer()
+		if _, err := s.ApplyBatch(batch); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,5 +1,5 @@
-// Command qpgc compresses graphs and answers queries on the compressed
-// form from the command line.
+// Command qpgc compresses graphs, answers queries on the compressed form,
+// and serves mixed read/write workloads from the command line.
 //
 // Usage:
 //
@@ -7,11 +7,16 @@
 //	qpgc stats     -in g.txt
 //	qpgc reach     -in g.txt -from 3 -to 17
 //	qpgc gen       -kind social|web|citation|p2p|er -v 1000 -e 5000 -l 4 -out g.txt [-seed n]
+//	qpgc workload  -in g.txt -ops 10000 -write 0.05 -out w.txt [-seed n]
+//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-target gr|g|hop2] [-verify]
 //
 // Graphs use the line-oriented text format of the library ("n id label",
 // "e src dst"). "reach" answers the query twice — by BFS over G and by BFS
 // over the compressed Gr after rewriting — and reports both, demonstrating
-// query preservation.
+// query preservation. "serve" opens a concurrent store on the graph and
+// drives the workload's write stream through batched updates while reader
+// goroutines answer its queries on immutable snapshots, reporting read
+// throughput and latency percentiles.
 package main
 
 import (
@@ -41,13 +46,17 @@ func main() {
 		cmdReach(os.Args[2:])
 	case "gen":
 		cmdGen(os.Args[2:])
+	case "workload":
+		cmdWorkload(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve> [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/queries"
+	"repro/internal/store"
+)
+
+// cmdWorkload generates a mixed read/write workload file for serve.
+func cmdWorkload(args []string) {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	in := fs.String("in", "", "input graph file")
+	out := fs.String("out", "", "output workload file")
+	ops := fs.Int("ops", 10000, "total operations")
+	write := fs.Float64("write", 0.05, "fraction of operations that are edge updates")
+	insert := fs.Float64("insert", 0.5, "fraction of updates that are insertions")
+	seed := fs.Int64("seed", 1, "seed")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("workload: -in and -out are required"))
+	}
+	g := load(*in)
+	w := gen.Mixed(rand.New(rand.NewSource(*seed)), g, *ops, *write, *insert)
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := gen.WriteWorkload(f, w); err != nil {
+		fatal(err)
+	}
+	var q, u int
+	for _, op := range w {
+		if op.Kind == gen.OpQuery {
+			q++
+		} else {
+			u++
+		}
+	}
+	fmt.Printf("wrote %s: %d ops (%d queries, %d updates)\n", *out, len(w), q, u)
+}
+
+// cmdServe drives a workload against a concurrent store: the write stream
+// is applied as batches on the store's writer while reader goroutines
+// answer the query stream on immutable snapshots.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("in", "", "input graph file")
+	workload := fs.String("workload", "", "workload file (qpgc workload)")
+	readers := fs.Int("readers", 4, "reader goroutines")
+	batch := fs.Int("batch", 64, "updates per ApplyBatch")
+	target := fs.String("target", "gr", "read path: gr (compressed), g (original), hop2 (index on Gr)")
+	verify := fs.Bool("verify", false, "cross-check every answer against the same snapshot's G")
+	fs.Parse(args)
+	if *in == "" || *workload == "" {
+		fatal(fmt.Errorf("serve: -in and -workload are required"))
+	}
+	if *readers < 1 {
+		fatal(fmt.Errorf("serve: -readers must be >= 1"))
+	}
+	g := load(*in)
+	wf, err := os.Open(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	ops, err := gen.ReadWorkload(wf)
+	wf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	for _, op := range ops {
+		if op.U < 0 || op.V < 0 || int(op.U) >= g.NumNodes() || int(op.V) >= g.NumNodes() {
+			fatal(fmt.Errorf("workload references node outside graph (%d nodes)", g.NumNodes()))
+		}
+	}
+
+	s := store.Open(g, nil)
+	defer s.Close()
+
+	// Split the stream: updates keep their order and are grouped into
+	// batches; queries fan out to the readers.
+	var updates []graph.Update
+	queryCh := make(chan gen.Op, 1024)
+	for _, op := range ops {
+		switch op.Kind {
+		case gen.OpInsert:
+			updates = append(updates, graph.Insertion(op.U, op.V))
+		case gen.OpDelete:
+			updates = append(updates, graph.Deletion(op.U, op.V))
+		}
+	}
+
+	var reached, mismatches atomic.Int64
+	latencies := make([][]time.Duration, *readers)
+	var wg sync.WaitGroup
+	wg.Add(*readers)
+	start := time.Now()
+	for r := 0; r < *readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			sc := queries.NewScratch(0)
+			ref := queries.NewScratch(0)
+			for op := range queryCh {
+				t0 := time.Now()
+				sn := s.Snapshot()
+				var got bool
+				switch *target {
+				case "g":
+					got = sn.ReachableOnG(sc, op.U, op.V)
+				case "hop2":
+					got = sn.ReachableHop2(op.U, op.V)
+				default:
+					got = sn.Reachable(sc, op.U, op.V)
+				}
+				latencies[r] = append(latencies[r], time.Since(t0))
+				if got {
+					reached.Add(1)
+				}
+				// Cross-check against the OTHER representation on the same
+				// snapshot (for -target g that is the compressed path, so
+				// the check is never a vacuous self-comparison).
+				if *verify {
+					var want bool
+					if *target == "g" {
+						want = sn.Reachable(ref, op.U, op.V)
+					} else {
+						want = sn.ReachableOnG(ref, op.U, op.V)
+					}
+					if got != want {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: batches in stream order, concurrent with the readers.
+	writerDone := make(chan struct{})
+	var epochs int
+	go func() {
+		defer close(writerDone)
+		for len(updates) > 0 {
+			n := *batch
+			if n > len(updates) {
+				n = len(updates)
+			}
+			if _, err := s.ApplyBatch(updates[:n]); err != nil {
+				fatal(err)
+			}
+			updates = updates[n:]
+			epochs++
+		}
+	}()
+	nq := 0
+	for _, op := range ops {
+		if op.Kind == gen.OpQuery {
+			queryCh <- op
+			nq++
+		}
+	}
+	close(queryCh)
+	wg.Wait()
+	readElapsed := time.Since(start)
+	<-writerDone
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pctl := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	st := s.Stats()
+	fmt.Printf("served %d queries on %q with %d readers in %v (%.0f q/s)\n",
+		nq, *target, *readers, readElapsed.Round(time.Millisecond),
+		float64(nq)/readElapsed.Seconds())
+	fmt.Printf("latency p50 %v  p99 %v  max %v\n", pctl(0.50), pctl(0.99), pctl(1.0))
+	fmt.Printf("writer: %d batches -> epoch %d in %v (%d updates)\n",
+		epochs, st.Epoch, elapsed.Round(time.Millisecond), st.Updates)
+	fmt.Printf("reachable answers: %d/%d\n", reached.Load(), nq)
+	fmt.Printf("store: |V|=%d |E|=%d  Gr-reach %d classes (ratio %.2f%%)  Gr-pattern %d classes (ratio %.2f%%)\n",
+		st.Nodes, st.Edges, st.ReachClasses, 100*st.ReachRatio,
+		st.PatternClasses, 100*st.PatternRatio)
+	if *verify {
+		if n := mismatches.Load(); n > 0 {
+			fatal(fmt.Errorf("BUG: %d answers diverged between G and Gr on the same snapshot", n))
+		}
+		fmt.Println("verify: G and Gr answers agree on every observed snapshot")
+	}
+}

@@ -15,7 +15,9 @@
 // fig12d); timing experiments always run their measurements sequentially.
 // -json additionally writes the results in machine-readable form (one
 // record per experiment: id, title, header, rows, elapsed ns, config) so
-// the perf trajectory can be tracked as BENCH_*.json files across changes.
+// the perf trajectory can be tracked as BENCH_*.json files across changes;
+// its meta header records the git revision and CPU counts that produced
+// the snapshot, keeping BENCH_*.json files attributable across PRs.
 package main
 
 import (
@@ -23,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -39,10 +44,67 @@ type jsonRecord struct {
 	ElapsedNs int64      `json:"elapsed_ns"`
 }
 
+// jsonMeta attributes a BENCH_*.json snapshot to the code revision and
+// machine that produced it, so results stay comparable across PRs.
+type jsonMeta struct {
+	GitRevision string `json:"git_revision"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+}
+
 // jsonReport is the top-level structure written by -json.
 type jsonReport struct {
+	Meta    jsonMeta       `json:"meta"`
 	Config  harness.Config `json:"config"`
 	Results []jsonRecord   `json:"results"`
+}
+
+// gitRevision resolves the source revision: the VCS stamp embedded by the
+// go tool when available (e.g. installed binaries), otherwise the git
+// working tree the command is run from; "unknown" when neither exists.
+func gitRevision() (rev string, dirty bool) {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if rev == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			rev = strings.TrimSpace(string(out))
+			if out, err := exec.Command("git", "status", "--porcelain").Output(); err == nil {
+				dirty = len(strings.TrimSpace(string(out))) > 0
+			}
+		}
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev, dirty
+}
+
+func buildMeta() jsonMeta {
+	rev, dirty := gitRevision()
+	return jsonMeta{
+		GitRevision: rev,
+		GitDirty:    dirty,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
 }
 
 func main() {
@@ -84,7 +146,7 @@ func main() {
 		}
 	}
 
-	report := jsonReport{Config: cfg}
+	report := jsonReport{Meta: buildMeta(), Config: cfg}
 	for _, e := range selected {
 		start := time.Now()
 		tab := e.Run(cfg)

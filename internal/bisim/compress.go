@@ -72,6 +72,15 @@ func Quotient(g *graph.Graph, p *Partition) *Compressed {
 	return quotient(g.Freeze(), p)
 }
 
+// QuotientCSR is Quotient over an already-frozen snapshot, for callers that
+// hold a CSR of the current graph state (e.g. the concurrent store freezes
+// G once per epoch and shares the snapshot between the quotient rebuild and
+// the read path). The partition must describe exactly the graph state c was
+// frozen from.
+func QuotientCSR(c *graph.CSR, p *Partition) *Compressed {
+	return quotient(c, p)
+}
+
 // quotient builds the compressed graph in bulk: the class edges (including
 // self-loops from intra-class member edges) are projected to packed pairs,
 // sort-deduplicated, and handed to graph.BuildFromSortedAdj — no per-edge

@@ -3,8 +3,8 @@
 // paper's layout. The cmd/qpgcbench CLI and the repository-level
 // testing.B benchmarks are thin wrappers around these drivers.
 //
-// Experiment ids: table1, table2, fig12a … fig12l (see DESIGN.md for the
-// per-experiment index).
+// Experiment ids: table1, table2, fig12a … fig12l, plus beyond-paper
+// drivers such as serve (see DESIGN.md for the per-experiment index).
 package harness
 
 import (
@@ -120,6 +120,7 @@ func Experiments() []Experiment {
 		{"fig12j", "RCr under power-law growth (real-life-like)", Fig12j},
 		{"fig12k", "PCr under densification (synthetic)", Fig12k},
 		{"fig12l", "PCr under power-law growth (real-life-like)", Fig12l},
+		{"serve", "Concurrent read throughput under a write stream (store)", ExpServe},
 	}
 }
 

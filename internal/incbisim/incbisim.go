@@ -52,6 +52,7 @@ type Maintainer struct {
 	ranks   []int32
 	nextID  int32
 	comp    *bisim.Compressed // lazily rebuilt
+	grCSR   *graph.CSR        // frozen snapshot of comp.Gr, nil when stale
 	dirtyGr bool
 }
 
@@ -82,9 +83,33 @@ func (m *Maintainer) Graph() *graph.Graph { return m.g }
 func (m *Maintainer) Compressed() *bisim.Compressed {
 	if m.dirtyGr {
 		m.comp = bisim.Quotient(m.g, m.Partition())
+		m.grCSR = nil
 		m.dirtyGr = false
 	}
 	return m.comp
+}
+
+// CompressedCSR returns the current compressed form together with a frozen
+// CSR snapshot of its quotient graph. This is the cheap post-Apply hook for
+// read-side consumers: the partition is already maintained incrementally,
+// so only the quotient projection and its freeze are (re)built, and both
+// are cached between Applies. base, if non-nil, must be a CSR snapshot of a
+// graph identical in content to Graph()'s current state (the concurrent
+// store passes the snapshot of G it freezes once per epoch, saving a second
+// O(|G|) freeze); pass nil to have the maintainer freeze its own graph.
+func (m *Maintainer) CompressedCSR(base *graph.CSR) (*bisim.Compressed, *graph.CSR) {
+	if m.dirtyGr {
+		if base == nil {
+			base = m.g.Freeze()
+		}
+		m.comp = bisim.QuotientCSR(base, m.Partition())
+		m.grCSR = nil
+		m.dirtyGr = false
+	}
+	if m.grCSR == nil {
+		m.grCSR = m.comp.Gr.Freeze()
+	}
+	return m.comp, m.grCSR
 }
 
 // Partition returns the maintained bisimulation partition (canonically

@@ -80,6 +80,7 @@ type Maintainer struct {
 	descCount, ancCount []int32
 
 	comp    *reach.Compressed
+	grCSR   *graph.CSR // frozen snapshot of comp.Gr, lazily built, nil when stale
 	dirtyGr bool
 
 	// visited is reusable traversal scratch over component ids;
@@ -125,6 +126,7 @@ func (m *Maintainer) initFromGraph() {
 	// cheaper than per-component BFS), as do the signature cardinalities.
 	c := reach.CompressSCC(g, s)
 	m.comp = c
+	m.grCSR = nil
 	m.dirtyGr = false
 	m.classOfScc = make([]int32, len(m.sccs))
 	for comp := range m.sccs {
@@ -146,6 +148,20 @@ func (m *Maintainer) Compressed() *reach.Compressed {
 		m.rebuildGr()
 	}
 	return m.comp
+}
+
+// CompressedCSR returns the current compression together with a frozen CSR
+// snapshot of its quotient graph Gr. This is the cheap post-Apply read-side
+// hook: the quotient is rebuilt from the maintained component/class layers
+// (never by recompressing G), and the freeze is cached, so calling it after
+// every batch costs O(|Gr|) — not O(|G|). The returned CSR is immutable and
+// safe to publish to concurrent readers.
+func (m *Maintainer) CompressedCSR() (*reach.Compressed, *graph.CSR) {
+	c := m.Compressed()
+	if m.grCSR == nil {
+		m.grCSR = c.Gr.Freeze()
+	}
+	return c, m.grCSR
 }
 
 // Apply applies ΔG and updates the maintained compression so that it

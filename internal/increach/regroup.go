@@ -218,5 +218,6 @@ func (m *Maintainer) rebuildGr() {
 	}
 	gr := reach.BuildQuotientGraph(rawAdj, cyclic)
 	m.comp = reach.AssembleCompressed(gr, classOf, members, cyclic)
+	m.grCSR = nil
 	m.dirtyGr = false
 }

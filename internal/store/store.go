@@ -1,0 +1,361 @@
+// Package store composes compression, incremental maintenance and the CSR
+// read path into one concurrent lifecycle: a Store owns the mutable
+// write-side graph together with both incremental maintainers (incRCM for
+// reachability, incPCM for patterns) and serves queries from immutable
+// per-epoch snapshots while batches of edge updates land.
+//
+// # Consistency model (snapshot per epoch, batch-atomic visibility)
+//
+// All writes funnel through a single writer goroutine. Each ApplyBatch call
+// advances the epoch by one; after a group of batches is applied, the writer
+// publishes a fresh Snapshot — frozen CSR forms of G, the reachability
+// quotient Gr-reach, and the bisimulation quotient Gr-pattern, plus their
+// 2-hop indexes — by swapping one atomic pointer. Consequences:
+//
+//   - Readers never block on writers and never observe a partially applied
+//     batch: a batch is invisible until its snapshot swap, then visible in
+//     full (batch-atomic visibility).
+//   - A reader that loads a Snapshot can keep querying it indefinitely; it
+//     observes one consistent epoch, never a torn state. Store-level query
+//     methods load the current snapshot per call instead.
+//   - ApplyBatch returns only after the snapshot containing its batch is
+//     published, so a writer's own subsequent reads see its write
+//     (read-your-writes for the caller of ApplyBatch).
+//   - Batches from concurrent callers are serialized in arrival order;
+//     under write pressure the writer coalesces queued batches into one
+//     snapshot rebuild, trading snapshot freshness-granularity for
+//     throughput (each batch still gets a distinct epoch number).
+//
+// Readers pull queries.Scratch traversal state from a sync.Pool, so the
+// warm read path performs zero heap allocations for point reachability.
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bisim"
+	"repro/internal/graph"
+	"repro/internal/hop2"
+	"repro/internal/incbisim"
+	"repro/internal/increach"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/reach"
+)
+
+// ErrClosed is returned by ApplyBatch after Close.
+var ErrClosed = errors.New("store: closed")
+
+// maxCoalesce bounds how many queued batches the writer folds into one
+// snapshot rebuild.
+const maxCoalesce = 32
+
+// Options configures a Store.
+type Options struct {
+	// Indexes controls whether each snapshot carries 2-hop reachability
+	// indexes built over the two compressed graphs (the paper's Fig. 12(d)
+	// point: indexing Gr is cheap where indexing G is not). Building them
+	// adds per-epoch work proportional to the (small) quotients.
+	Indexes bool
+}
+
+// DefaultOptions returns the standard configuration: 2-hop indexes on.
+func DefaultOptions() Options { return Options{Indexes: true} }
+
+// ReachView is the reachability-compressed face of one snapshot.
+type ReachView struct {
+	// Gr is the frozen reachability quotient R(G).
+	Gr *graph.CSR
+	// Compressed carries the node mapping R (Rewrite/ClassOf) and the
+	// class member index for this epoch.
+	Compressed *reach.Compressed
+	// Index is a 2-hop reachability labeling over Gr, nil unless
+	// Options.Indexes.
+	Index *hop2.Index
+}
+
+// PatternView is the pattern-compressed face of one snapshot.
+type PatternView struct {
+	// Gr is the frozen bisimulation quotient.
+	Gr *graph.CSR
+	// Compressed carries the class mapping and member index used by the
+	// post-processing function P (pattern.Expand).
+	Compressed *bisim.Compressed
+	// Index is a 2-hop reachability labeling over Gr, nil unless
+	// Options.Indexes.
+	Index *hop2.Index
+}
+
+// Snapshot is the immutable query state of one epoch. All fields are safe
+// for concurrent use by any number of goroutines; a Snapshot never changes
+// after publication.
+type Snapshot struct {
+	// Epoch counts applied batches: a snapshot with Epoch = k reflects
+	// exactly the first k batches accepted by the store.
+	Epoch uint64
+	// G is the frozen original graph at this epoch.
+	G *graph.CSR
+	// Reach is the reachability-compressed read path.
+	Reach ReachView
+	// Pattern is the pattern-compressed read path.
+	Pattern PatternView
+}
+
+// Reachable answers QR(u,v) on the compressed graph: O(1) rewriting, then
+// bidirectional BFS over the frozen Gr-reach. Allocation-free with a warm
+// scratch.
+func (sn *Snapshot) Reachable(s *queries.Scratch, u, v graph.Node) bool {
+	cu, cv := sn.Reach.Compressed.Rewrite(u, v)
+	return queries.ReachableBiCSR(sn.Reach.Gr, s, cu, cv)
+}
+
+// ReachableOnG answers QR(u,v) by bidirectional BFS over the uncompressed
+// snapshot of G — the baseline the compressed path is measured against.
+func (sn *Snapshot) ReachableOnG(s *queries.Scratch, u, v graph.Node) bool {
+	return queries.ReachableBiCSR(sn.G, s, u, v)
+}
+
+// ReachableHop2 answers QR(u,v) from the snapshot's 2-hop labels over
+// Gr-reach: no graph traversal at all. It panics if the store was opened
+// with Options.Indexes false.
+func (sn *Snapshot) ReachableHop2(u, v graph.Node) bool {
+	cu, cv := sn.Reach.Compressed.Rewrite(u, v)
+	return sn.Reach.Index.Reachable(cu, cv)
+}
+
+// Match computes the maximum match of p on the compressed graph and expands
+// it back to G via the post-processing function P.
+func (sn *Snapshot) Match(p *pattern.Pattern) *pattern.Result {
+	return pattern.Expand(pattern.MatchCSR(sn.Pattern.Gr, p), sn.Pattern.Compressed)
+}
+
+// MatchOnG computes the maximum match of p directly on the snapshot of G.
+func (sn *Snapshot) MatchOnG(p *pattern.Pattern) *pattern.Result {
+	return pattern.MatchCSR(sn.G, p)
+}
+
+// ApplyResult reports one ApplyBatch call.
+type ApplyResult struct {
+	// Epoch is the epoch at which the batch became visible (the batch's
+	// 1-based sequence number among all accepted batches).
+	Epoch uint64
+	// Reach and Pattern report the incremental maintenance work.
+	Reach   increach.Stats
+	Pattern incbisim.Stats
+}
+
+// Stats is a point-in-time summary of the store.
+type Stats struct {
+	// Epoch, Batches and Updates count accepted work: Batches == Epoch of
+	// the latest published snapshot once the writer is idle.
+	Epoch   uint64
+	Batches uint64
+	// Updates counts individual edge updates across all accepted batches.
+	Updates uint64
+	// Reads counts queries served through Store-level query methods
+	// (snapshot-pinned reads are not counted).
+	Reads uint64
+	// Nodes and Edges describe G at the latest snapshot.
+	Nodes, Edges int
+	// ReachClasses/ReachRatio and PatternClasses/PatternRatio describe the
+	// two quotients at the latest snapshot; ratios are |Gr|/|G|.
+	ReachClasses   int
+	ReachRatio     float64
+	PatternClasses int
+	PatternRatio   float64
+}
+
+type applyReq struct {
+	batch []graph.Update
+	res   chan ApplyResult
+}
+
+// Store is a concurrent compressed-graph store: one writer, any number of
+// readers. See the package documentation for the consistency model.
+type Store struct {
+	opts Options
+
+	rm *increach.Maintainer // owns the authoritative write-side G
+	pm *incbisim.Maintainer // owns its own copy, kept in lockstep
+
+	snap    atomic.Pointer[Snapshot]
+	scratch sync.Pool // *queries.Scratch
+
+	reqs chan applyReq
+	idle chan struct{} // closed when the writer goroutine exits
+
+	mu     sync.RWMutex // guards closed vs. sends on reqs
+	closed bool
+
+	batches atomic.Uint64
+	updates atomic.Uint64
+	reads   atomic.Uint64
+}
+
+// Open takes ownership of g (it must not be used afterwards), compresses it
+// under both schemes, publishes the epoch-0 snapshot, and starts the writer
+// goroutine. Close releases it.
+func Open(g *graph.Graph, opts *Options) *Store {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	n := g.NumNodes() // captured now: the closure below runs on reader
+	// goroutines and must not touch the writer-owned graph
+	s := &Store{
+		opts: o,
+		rm:   increach.New(g),
+		pm:   incbisim.New(g.Clone()),
+		reqs: make(chan applyReq),
+		idle: make(chan struct{}),
+	}
+	s.scratch.New = func() any { return queries.NewScratch(n) }
+	s.publish(0)
+	go s.run()
+	return s
+}
+
+// publish rebuilds the snapshot from the maintainers and swaps it in.
+// Called from Open and then only from the writer goroutine.
+func (s *Store) publish(epoch uint64) {
+	csrG := s.rm.Graph().Freeze()
+	rc, rGr := s.rm.CompressedCSR()
+	// The two maintainers hold separate graph copies with identical
+	// content, so the pattern quotient can be rebuilt over the snapshot of
+	// G already frozen above instead of freezing a second time.
+	pc, pGr := s.pm.CompressedCSR(csrG)
+	sn := &Snapshot{
+		Epoch:   epoch,
+		G:       csrG,
+		Reach:   ReachView{Gr: rGr, Compressed: rc},
+		Pattern: PatternView{Gr: pGr, Compressed: pc},
+	}
+	if s.opts.Indexes {
+		sn.Reach.Index = hop2.BuildCSR(rGr)
+		sn.Pattern.Index = hop2.BuildCSR(pGr)
+	}
+	s.snap.Store(sn)
+}
+
+// run is the writer goroutine: it serializes batches, folds queued requests
+// into one snapshot rebuild, and signals completion after publication.
+func (s *Store) run() {
+	defer close(s.idle)
+	for req := range s.reqs {
+		pending := []applyReq{req}
+	drain:
+		for len(pending) < maxCoalesce {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				pending = append(pending, r)
+			default:
+				break drain
+			}
+		}
+		results := make([]ApplyResult, len(pending))
+		for i, p := range pending {
+			results[i] = ApplyResult{
+				Epoch:   s.batches.Add(1),
+				Reach:   s.rm.Apply(p.batch),
+				Pattern: s.pm.Apply(p.batch),
+			}
+			s.updates.Add(uint64(len(p.batch)))
+		}
+		s.publish(results[len(results)-1].Epoch)
+		for i, p := range pending {
+			p.res <- results[i]
+		}
+	}
+}
+
+// ApplyBatch submits one batch ΔG and blocks until the snapshot containing
+// it is published; the store then equals G ⊕ ΔG for every reader. Batches
+// from concurrent callers are applied in arrival order. It returns ErrClosed
+// after Close.
+func (s *Store) ApplyBatch(batch []graph.Update) (ApplyResult, error) {
+	req := applyReq{batch: batch, res: make(chan ApplyResult, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ApplyResult{}, ErrClosed
+	}
+	s.reqs <- req
+	s.mu.RUnlock()
+	return <-req.res, nil
+}
+
+// Close stops the writer goroutine after the queue drains. Queries remain
+// answerable on the final snapshot; further ApplyBatch calls fail.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqs)
+	}
+	s.mu.Unlock()
+	<-s.idle
+}
+
+// Snapshot returns the current epoch's immutable query state. Use it to pin
+// a sequence of queries to one consistent epoch.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// getScratch pools traversal scratch across readers; with steady traffic
+// every goroutine reuses a warm scratch and point queries allocate nothing.
+func (s *Store) getScratch() *queries.Scratch { return s.scratch.Get().(*queries.Scratch) }
+
+// Reachable answers QR(u,v) on the current snapshot's compressed graph.
+// Safe for any number of concurrent callers, also during ApplyBatch.
+func (s *Store) Reachable(u, v graph.Node) bool {
+	s.reads.Add(1)
+	sc := s.getScratch()
+	ok := s.Snapshot().Reachable(sc, u, v)
+	s.scratch.Put(sc)
+	return ok
+}
+
+// ReachableOnG answers QR(u,v) on the current snapshot of the uncompressed
+// graph — the baseline path.
+func (s *Store) ReachableOnG(u, v graph.Node) bool {
+	s.reads.Add(1)
+	sc := s.getScratch()
+	ok := s.Snapshot().ReachableOnG(sc, u, v)
+	s.scratch.Put(sc)
+	return ok
+}
+
+// Match answers the pattern query on the current snapshot via the
+// compressed graph plus post-processing.
+func (s *Store) Match(p *pattern.Pattern) *pattern.Result {
+	s.reads.Add(1)
+	return s.Snapshot().Match(p)
+}
+
+// MatchOnG answers the pattern query directly on the current snapshot of G.
+func (s *Store) MatchOnG(p *pattern.Pattern) *pattern.Result {
+	s.reads.Add(1)
+	return s.Snapshot().MatchOnG(p)
+}
+
+// Stats summarizes the store at the current snapshot.
+func (s *Store) Stats() Stats {
+	sn := s.Snapshot()
+	gSize := float64(sn.G.Size())
+	return Stats{
+		Epoch:          sn.Epoch,
+		Batches:        s.batches.Load(),
+		Updates:        s.updates.Load(),
+		Reads:          s.reads.Load(),
+		Nodes:          sn.G.NumNodes(),
+		Edges:          sn.G.NumEdges(),
+		ReachClasses:   sn.Reach.Gr.NumNodes(),
+		ReachRatio:     float64(sn.Reach.Gr.Size()) / gSize,
+		PatternClasses: sn.Pattern.Gr.NumNodes(),
+		PatternRatio:   float64(sn.Pattern.Gr.Size()) / gSize,
+	}
+}

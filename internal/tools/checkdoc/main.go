@@ -1,0 +1,88 @@
+// Command checkdoc verifies that every exported identifier in the given Go
+// source files carries a doc comment, so the public facade's godoc can
+// never silently rot. It is the doc-comment gate of the CI docs job:
+//
+//	go run ./internal/tools/checkdoc qpgc.go
+//
+// Grouped declarations are handled per spec: inside a type/const/var block
+// each exported spec needs its own comment (or the block's, when it is the
+// only spec). Exported methods are checked like functions. Exit status is 1
+// if any identifier is undocumented, with one line per finding.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkdoc <file.go> [file.go ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		missing, err := check(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkdoc: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "checkdoc: %d exported identifier(s) lack doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// check parses one file and returns a "file:line: name" finding per
+// exported identifier that has no doc comment.
+func check(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s is undocumented", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && !(len(d.Specs) == 1 && d.Doc != nil) {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// One comment may cover a multi-name spec ("var A, B ...");
+					// it must exist on the spec or on a single-spec block.
+					documented := sp.Doc != nil || (len(d.Specs) == 1 && d.Doc != nil)
+					for _, name := range sp.Names {
+						if name.IsExported() && !documented {
+							report(name.Pos(), "value", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return missing, nil
+}

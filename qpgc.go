@@ -16,7 +16,10 @@
 //     Average reduction: ~57%.
 //
 // Both compressed forms can be maintained incrementally under batch edge
-// updates (Section 5) without recompressing from scratch.
+// updates (Section 5) without recompressing from scratch, and served
+// concurrently: a Store (Open) applies batches on a single writer while
+// readers query immutable per-epoch CSR snapshots of G and both compressed
+// graphs without ever blocking.
 //
 // # Quick start
 //
@@ -45,6 +48,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/queries"
 	"repro/internal/reach"
+	"repro/internal/store"
 )
 
 // Core graph types, re-exported from the graph substrate.
@@ -92,14 +96,43 @@ type (
 
 // Incremental maintainers.
 type (
-	// ReachMaintainer maintains R(G) for reachability under edge updates.
+	// ReachMaintainer maintains the reachability preserving compression
+	// R(G) under edge updates (algorithm incRCM).
 	ReachMaintainer = increach.Maintainer
-	// PatternMaintainer maintains R(G) for patterns under edge updates.
+	// PatternMaintainer maintains the pattern preserving compression — the
+	// maximum bisimulation quotient of G, a different graph from the
+	// reachability quotient R(G) — under edge updates (algorithm incPCM).
 	PatternMaintainer = incbisim.Maintainer
 	// IncMatcher incrementally maintains one pattern's match over an
 	// evolving graph (the IncBMatch baseline).
 	IncMatcher = pattern.IncMatcher
 )
+
+// Concurrent serving. A Store owns the evolving graph plus both incremental
+// maintainers and serves queries from immutable per-epoch CSR snapshots
+// while batched updates land on a single writer goroutine; readers never
+// block on writers (see internal/store for the consistency model).
+type (
+	// Store is the concurrent compressed-graph store.
+	Store = store.Store
+	// StoreSnapshot is one epoch's immutable query state: frozen CSR forms
+	// of G, Gr-reach and Gr-pattern with their 2-hop indexes.
+	StoreSnapshot = store.Snapshot
+	// StoreOptions configures Open.
+	StoreOptions = store.Options
+	// StoreStats is a point-in-time summary of a Store.
+	StoreStats = store.Stats
+	// ApplyResult reports one Store.ApplyBatch call.
+	ApplyResult = store.ApplyResult
+)
+
+// ErrStoreClosed is returned by Store.ApplyBatch after Close.
+var ErrStoreClosed = store.ErrClosed
+
+// Open takes ownership of g and returns a running Store serving queries on
+// both compressed forms while accepting batched edge updates. Pass nil opts
+// for the defaults. Close it when done.
+func Open(g *Graph, opts *StoreOptions) *Store { return store.Open(g, opts) }
 
 // TwoHopIndex is a 2-hop reachability labeling; build it over G or over a
 // compressed Gr (the paper's Fig. 12(d) point: indexes compose with
