@@ -8,7 +8,7 @@
 //	qpgc reach     -in g.txt -from 3 -to 17
 //	qpgc gen       -kind social|web|citation|p2p|er -v 1000 -e 5000 -l 4 -out g.txt [-seed n]
 //	qpgc workload  -in g.txt -ops 10000 -write 0.05 -out w.txt [-seed n]
-//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-target gr|g|hop2] [-verify]
+//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify]
 //
 // Graphs use the line-oriented text format of the library ("n id label",
 // "e src dst"). "reach" answers the query twice — by BFS over G and by BFS
@@ -16,7 +16,10 @@
 // query preservation. "serve" opens a concurrent store on the graph and
 // drives the workload's write stream through batched updates while reader
 // goroutines answer its queries on immutable snapshots, reporting read
-// throughput and latency percentiles.
+// throughput and latency percentiles; with -shards k > 1 the store runs k
+// partition-parallel write pipelines and routes cross-shard queries
+// through the boundary summary (answers stay exact; -verify checks them
+// against the composite uncompressed graph on the same snapshot).
 package main
 
 import (

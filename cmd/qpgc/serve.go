@@ -50,16 +50,32 @@ func cmdWorkload(args []string) {
 	fmt.Printf("wrote %s: %d ops (%d queries, %d updates)\n", *out, len(w), q, u)
 }
 
+// serveBackend abstracts the store behind the shared serve drive loop.
+// newReader returns the per-goroutine answer function: it loads ONE
+// snapshot per op, answers on the chosen target, and — when verifying —
+// cross-checks against the OTHER representation of that same snapshot (so
+// the check is same-epoch by construction and never a vacuous
+// self-comparison). apply submits one update batch; report prints the
+// store-specific summary and the verify verdict.
+type serveBackend struct {
+	newReader func(verify bool) func(u, v graph.Node) (got, mismatch bool)
+	apply     func(batch []graph.Update) error
+	report    func(mismatches int64)
+}
+
 // cmdServe drives a workload against a concurrent store: the write stream
 // is applied as batches on the store's writer while reader goroutines
-// answer the query stream on immutable snapshots.
+// answer the query stream on immutable snapshots. With -shards k > 1 the
+// store is sharded: k partition-parallel write pipelines behind a
+// coordinator, queries routed local-lookup → summary-hop → local-lookup.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "", "input graph file")
 	workload := fs.String("workload", "", "workload file (qpgc workload)")
 	readers := fs.Int("readers", 4, "reader goroutines")
 	batch := fs.Int("batch", 64, "updates per ApplyBatch")
-	target := fs.String("target", "gr", "read path: gr (compressed), g (original), hop2 (index on Gr)")
+	shards := fs.Int("shards", 1, "shard count (1 = monolithic store)")
+	target := fs.String("target", "gr", "read path: gr (compressed), g (original), hop2 (index on Gr; monolithic only)")
 	verify := fs.Bool("verify", false, "cross-check every answer against the same snapshot's G")
 	fs.Parse(args)
 	if *in == "" || *workload == "" {
@@ -67,6 +83,9 @@ func cmdServe(args []string) {
 	}
 	if *readers < 1 {
 		fatal(fmt.Errorf("serve: -readers must be >= 1"))
+	}
+	if *batch < 1 {
+		fatal(fmt.Errorf("serve: -batch must be >= 1"))
 	}
 	g := load(*in)
 	wf, err := os.Open(*workload)
@@ -84,11 +103,105 @@ func cmdServe(args []string) {
 		}
 	}
 
-	s := store.Open(g, nil)
-	defer s.Close()
+	var backend serveBackend
+	if *shards > 1 {
+		s := store.OpenSharded(g, &store.ShardedOptions{Shards: *shards, Indexes: true})
+		defer s.Close()
+		backend = serveBackend{
+			newReader: func(verify bool) func(u, v graph.Node) (got, mismatch bool) {
+				rs := store.NewRouteScratch()
+				ref := store.NewRouteScratch()
+				return func(u, v graph.Node) (bool, bool) {
+					sn := s.Snapshot()
+					var got bool
+					if *target == "g" {
+						got = sn.ReachableOnG(rs, u, v)
+					} else {
+						got = sn.Reachable(rs, u, v)
+					}
+					if !verify {
+						return got, false
+					}
+					var want bool
+					if *target == "g" {
+						want = sn.Reachable(ref, u, v)
+					} else {
+						want = sn.ReachableOnG(ref, u, v)
+					}
+					return got, got != want
+				}
+			},
+			apply: func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
+			report: func(mismatches int64) {
+				st := s.Stats()
+				fmt.Printf("writer: epoch %d (%d updates, %d cross-shard edges at close)\n",
+					st.Epoch, st.Updates, st.CrossEdges)
+				fmt.Printf("store: |V|=%d |E|=%d  %d shards  boundary %d  summary |E|=%d  reach classes %d  stitched classes %d\n",
+					st.Nodes, st.Edges, st.Shards, st.Boundary, st.SummaryEdges,
+					st.ReachClasses, st.StitchClasses)
+				if *verify {
+					if mismatches > 0 {
+						fatal(fmt.Errorf("BUG: %d answers diverged between routed and composite paths on the same snapshot", mismatches))
+					}
+					fmt.Println("verify: routed and composite answers agree on every observed snapshot")
+				}
+			},
+		}
+	} else {
+		s := store.Open(g, nil)
+		defer s.Close()
+		backend = serveBackend{
+			newReader: func(verify bool) func(u, v graph.Node) (got, mismatch bool) {
+				sc := queries.NewScratch(0)
+				ref := queries.NewScratch(0)
+				return func(u, v graph.Node) (bool, bool) {
+					sn := s.Snapshot()
+					var got bool
+					switch *target {
+					case "g":
+						got = sn.ReachableOnG(sc, u, v)
+					case "hop2":
+						got = sn.ReachableHop2(u, v)
+					default:
+						got = sn.Reachable(sc, u, v)
+					}
+					if !verify {
+						return got, false
+					}
+					var want bool
+					if *target == "g" {
+						want = sn.Reachable(ref, u, v)
+					} else {
+						want = sn.ReachableOnG(ref, u, v)
+					}
+					return got, got != want
+				}
+			},
+			apply: func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
+			report: func(mismatches int64) {
+				st := s.Stats()
+				fmt.Printf("writer: epoch %d (%d updates)\n", st.Epoch, st.Updates)
+				fmt.Printf("store: |V|=%d |E|=%d  Gr-reach %d classes (ratio %.2f%%)  Gr-pattern %d classes (ratio %.2f%%)\n",
+					st.Nodes, st.Edges, st.ReachClasses, 100*st.ReachRatio,
+					st.PatternClasses, 100*st.PatternRatio)
+				if *verify {
+					if mismatches > 0 {
+						fatal(fmt.Errorf("BUG: %d answers diverged between G and Gr on the same snapshot", mismatches))
+					}
+					fmt.Println("verify: G and Gr answers agree on every observed snapshot")
+				}
+			},
+		}
+	}
+	runServe(backend, ops, *readers, *batch, *shards, *target, *verify)
+}
 
-	// Split the stream: updates keep their order and are grouped into
-	// batches; queries fan out to the readers.
+// runServe is the store-agnostic drive loop: it splits the workload stream
+// (updates keep their order and are grouped into batches on one writer;
+// queries fan out to the readers), measures per-query latency, and prints
+// the throughput/latency report before delegating the store-specific
+// summary to the backend.
+func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, target string, verify bool) {
 	var updates []graph.Update
 	queryCh := make(chan gen.Op, 1024)
 	for _, op := range ops {
@@ -101,44 +214,23 @@ func cmdServe(args []string) {
 	}
 
 	var reached, mismatches atomic.Int64
-	latencies := make([][]time.Duration, *readers)
+	latencies := make([][]time.Duration, readers)
 	var wg sync.WaitGroup
-	wg.Add(*readers)
+	wg.Add(readers)
 	start := time.Now()
-	for r := 0; r < *readers; r++ {
+	for r := 0; r < readers; r++ {
 		go func(r int) {
 			defer wg.Done()
-			sc := queries.NewScratch(0)
-			ref := queries.NewScratch(0)
+			answer := b.newReader(verify)
 			for op := range queryCh {
 				t0 := time.Now()
-				sn := s.Snapshot()
-				var got bool
-				switch *target {
-				case "g":
-					got = sn.ReachableOnG(sc, op.U, op.V)
-				case "hop2":
-					got = sn.ReachableHop2(op.U, op.V)
-				default:
-					got = sn.Reachable(sc, op.U, op.V)
-				}
+				got, mismatch := answer(op.U, op.V)
 				latencies[r] = append(latencies[r], time.Since(t0))
 				if got {
 					reached.Add(1)
 				}
-				// Cross-check against the OTHER representation on the same
-				// snapshot (for -target g that is the compressed path, so
-				// the check is never a vacuous self-comparison).
-				if *verify {
-					var want bool
-					if *target == "g" {
-						want = sn.Reachable(ref, op.U, op.V)
-					} else {
-						want = sn.ReachableOnG(ref, op.U, op.V)
-					}
-					if got != want {
-						mismatches.Add(1)
-					}
+				if mismatch {
+					mismatches.Add(1)
 				}
 			}
 		}(r)
@@ -150,11 +242,11 @@ func cmdServe(args []string) {
 	go func() {
 		defer close(writerDone)
 		for len(updates) > 0 {
-			n := *batch
+			n := batchSize
 			if n > len(updates) {
 				n = len(updates)
 			}
-			if _, err := s.ApplyBatch(updates[:n]); err != nil {
+			if err := b.apply(updates[:n]); err != nil {
 				fatal(err)
 			}
 			updates = updates[n:]
@@ -183,25 +275,14 @@ func cmdServe(args []string) {
 		if len(all) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
+		return all[int(p*float64(len(all)-1))]
 	}
 
-	st := s.Stats()
-	fmt.Printf("served %d queries on %q with %d readers in %v (%.0f q/s)\n",
-		nq, *target, *readers, readElapsed.Round(time.Millisecond),
+	fmt.Printf("served %d queries on %q with %d readers, %d shard(s) in %v (%.0f q/s)\n",
+		nq, target, readers, shards, readElapsed.Round(time.Millisecond),
 		float64(nq)/readElapsed.Seconds())
 	fmt.Printf("latency p50 %v  p99 %v  max %v\n", pctl(0.50), pctl(0.99), pctl(1.0))
-	fmt.Printf("writer: %d batches -> epoch %d in %v (%d updates)\n",
-		epochs, st.Epoch, elapsed.Round(time.Millisecond), st.Updates)
+	fmt.Printf("writer: %d batches in %v\n", epochs, elapsed.Round(time.Millisecond))
 	fmt.Printf("reachable answers: %d/%d\n", reached.Load(), nq)
-	fmt.Printf("store: |V|=%d |E|=%d  Gr-reach %d classes (ratio %.2f%%)  Gr-pattern %d classes (ratio %.2f%%)\n",
-		st.Nodes, st.Edges, st.ReachClasses, 100*st.ReachRatio,
-		st.PatternClasses, 100*st.PatternRatio)
-	if *verify {
-		if n := mismatches.Load(); n > 0 {
-			fatal(fmt.Errorf("BUG: %d answers diverged between G and Gr on the same snapshot", n))
-		}
-		fmt.Println("verify: G and Gr answers agree on every observed snapshot")
-	}
+	b.report(mismatches.Load())
 }

@@ -1,0 +1,52 @@
+package hop2
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// BuildAll constructs one index per snapshot concurrently on a bounded
+// worker pool (workers <= 0 means GOMAXPROCS) and returns them in input
+// order. Nil snapshots yield nil indexes. This is the range-restricted
+// build path of the sharded store: per-shard quotients are indexed
+// independently, so index construction scales with the largest shard
+// rather than with |Gr| of the whole graph.
+func BuildAll(csrs []*graph.CSR, workers int) []*Index {
+	out := make([]*Index, len(csrs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(csrs) {
+		workers = len(csrs)
+	}
+	if workers <= 1 {
+		for i, c := range csrs {
+			if c != nil {
+				out[i] = BuildCSR(c)
+			}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(csrs) {
+					return
+				}
+				if csrs[i] != nil {
+					out[i] = BuildCSR(csrs[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

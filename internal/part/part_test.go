@@ -1,0 +1,293 @@
+package part
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bisim"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/reach"
+)
+
+func randomGraphs(seed int64) map[string]*graph.Graph {
+	rng := func(d int64) *rand.Rand { return rand.New(rand.NewSource(seed + d)) }
+	return map[string]*graph.Graph{
+		"social":   gen.Social(rng(0), 150, 600, 4),
+		"citation": gen.Citation(rng(1), 120, 400, 4),
+		"er":       gen.ErdosRenyi(rng(2), 100, 350, 4),
+	}
+}
+
+// TestSplitInvariants checks the partitioner's structural contract: dense
+// local ids per shard, SCCs never straddling shards, and cross adjacency
+// exactly complementing the local subgraphs.
+func TestSplitInvariants(t *testing.T) {
+	for name, g := range randomGraphs(1) {
+		c := g.Freeze()
+		for _, k := range []int{1, 2, 5} {
+			p := Split(c, k)
+			n := c.NumNodes()
+			// Dense local ids matching the member lists.
+			for s := 0; s < k; s++ {
+				for i, v := range p.Nodes[s] {
+					if p.ShardOf[v] != int32(s) || p.LocalID[v] != int32(i) {
+						t.Fatalf("%s k=%d: node %d shard/local mismatch", name, k, v)
+					}
+				}
+			}
+			// SCC-awareness: strongly connected nodes share a shard.
+			scc := graph.TarjanCSR(c)
+			for v := 0; v < n; v++ {
+				rep := scc.Members[scc.Comp[v]][0]
+				if p.ShardOf[v] != p.ShardOf[rep] {
+					t.Fatalf("%s k=%d: SCC of %d straddles shards", name, k, v)
+				}
+			}
+			// Edge partition: every edge is either in exactly one local
+			// subgraph or in the cross adjacency.
+			locals := make([]*graph.Graph, k)
+			totalLocal := 0
+			for s := 0; s < k; s++ {
+				locals[s] = p.Subgraph(c, s)
+				if err := locals[s].Validate(); err != nil {
+					t.Fatalf("%s k=%d: shard %d invalid: %v", name, k, s, err)
+				}
+				totalLocal += locals[s].NumEdges()
+			}
+			if totalLocal+p.CrossEdges != c.NumEdges() {
+				t.Fatalf("%s k=%d: %d local + %d cross != %d edges",
+					name, k, totalLocal, p.CrossEdges, c.NumEdges())
+			}
+			c.Edges(func(u, v graph.Node) bool {
+				if p.ShardOf[u] == p.ShardOf[v] {
+					if !locals[p.ShardOf[u]].HasEdge(p.LocalID[u], p.LocalID[v]) {
+						t.Fatalf("%s k=%d: local edge (%d,%d) missing", name, k, u, v)
+					}
+				} else {
+					found := false
+					for _, w := range p.CrossOut[u] {
+						if w == v {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("%s k=%d: cross edge (%d,%d) missing", name, k, u, v)
+					}
+				}
+				return true
+			})
+			// Labels survive extraction.
+			for s := 0; s < k; s++ {
+				for i, v := range p.Nodes[s] {
+					if locals[s].Label(graph.Node(i)) != c.Label(v) {
+						t.Fatalf("%s k=%d: label mismatch at %d", name, k, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSubsetClosure pins reach.SubsetClosure against brute-force BFS over
+// the original graph for a random node subset.
+func TestSubsetClosure(t *testing.T) {
+	for name, g := range randomGraphs(2) {
+		rc := reach.Compress(g)
+		gr := rc.Gr.Freeze()
+		gcsr := g.Freeze()
+		rng := rand.New(rand.NewSource(3))
+		var subset []graph.Node
+		for v := 0; v < g.NumNodes(); v++ {
+			if rng.Intn(4) == 0 {
+				subset = append(subset, graph.Node(v))
+			}
+		}
+		got := make(map[[2]int32]bool)
+		for _, pr := range rc.SubsetClosure(gr, subset) {
+			got[pr] = true
+		}
+		sc := queries.NewScratch(0)
+		for i, u := range subset {
+			for j, v := range subset {
+				if i == j {
+					continue
+				}
+				want := queries.ReachableBiCSR(gcsr, sc, u, v)
+				if got[[2]int32{int32(i), int32(j)}] != want {
+					t.Fatalf("%s: SubsetClosure(%d→%d)=%v want %v",
+						name, u, v, !want, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStitchedIsBisimulation verifies the stitched partition is a stable
+// label-respecting partition of the full graph — the property that makes
+// cross-shard Match exact — and that matching on the stitched quotient
+// plus expansion equals matching on G directly.
+func TestStitchedIsBisimulation(t *testing.T) {
+	for name, g := range randomGraphs(4) {
+		c := g.Freeze()
+		for _, k := range []int{2, 4} {
+			p := Split(c, k)
+			locals := make([]*graph.CSR, k)
+			parts := make([]*bisim.Partition, k)
+			for s := 0; s < k; s++ {
+				local := p.Subgraph(c, s)
+				locals[s] = local.Freeze()
+				parts[s] = bisim.RefinePTCSR(locals[s])
+			}
+			st := BuildStitched(p, locals, parts, p.CrossOut, c.Labels())
+
+			// Stability on the full graph.
+			blockOf := make([]int32, c.NumNodes())
+			for v, b := range st.BlockOf {
+				blockOf[v] = int32(b)
+			}
+			full := &bisim.Partition{BlockOf: blockOf, Blocks: st.Members}
+			if !bisim.IsStable(g, full) {
+				t.Fatalf("%s k=%d: stitched partition not stable on G", name, k)
+			}
+			// Blocks never span shards.
+			for b, mem := range st.Members {
+				for _, v := range mem {
+					if p.ShardOf[v] != st.ShardOfBlock[b] {
+						t.Fatalf("%s k=%d: block %d spans shards", name, k, b)
+					}
+				}
+			}
+
+			// Match on the stitched quotient + expansion == Match on G.
+			pt := pattern.New()
+			pa := pt.AddNode("L0")
+			pb := pt.AddNode("L1")
+			pt.AddEdge(pa, pb, 2)
+			want := pattern.Match(g, pt)
+			onQ := pattern.MatchCSR(st.Q, pt)
+			var got *pattern.Result
+			if !onQ.OK {
+				got = onQ
+			} else {
+				got = &pattern.Result{OK: true, Sets: make([][]graph.Node, len(onQ.Sets))}
+				for u, classes := range onQ.Sets {
+					var set []graph.Node
+					for _, cls := range classes {
+						set = append(set, st.Members[cls]...)
+					}
+					sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+					got.Sets[u] = set
+				}
+			}
+			if want.OK != got.OK || want.Size() != got.Size() {
+				t.Fatalf("%s k=%d: stitched match %v/%d want %v/%d",
+					name, k, got.OK, got.Size(), want.OK, want.Size())
+			}
+		}
+	}
+}
+
+// buildTestSummary assembles a summary for a split graph, compressing each
+// shard's subgraph on the spot.
+func buildTestSummary(c *graph.CSR, p *Partition) (*Summary, []*reach.Compressed, []*graph.CSR) {
+	boundary := BoundaryNodes(p.CrossOut, p.CrossInDeg)
+	shardBoundary := make([][]graph.Node, p.K)
+	for _, v := range boundary {
+		s := p.ShardOf[v]
+		shardBoundary[s] = append(shardBoundary[s], v)
+	}
+	rcs := make([]*reach.Compressed, p.K)
+	grs := make([]*graph.CSR, p.K)
+	for s := 0; s < p.K; s++ {
+		rcs[s] = reach.Compress(p.Subgraph(c, s))
+		grs[s] = rcs[s].Gr.Freeze()
+	}
+	return BuildSummary(boundary, p.CrossOut, shardBoundary, p.LocalID, rcs, grs), rcs, grs
+}
+
+// TestSummarySumID checks the boundary list, the id lookup round-trip and
+// the linear size of the class-augmented summary.
+func TestSummarySumID(t *testing.T) {
+	g := gen.Social(rand.New(rand.NewSource(5)), 120, 500, 4)
+	c := g.Freeze()
+	p := Split(c, 3)
+	s, rcs, grs := buildTestSummary(c, p)
+	boundary := s.Boundary
+	if len(boundary) != len(BoundaryNodes(p.CrossOut, p.CrossInDeg)) {
+		t.Fatalf("boundary length mismatch")
+	}
+	inB := make(map[graph.Node]bool)
+	for i, v := range boundary {
+		if s.SumID(v) != int32(i) {
+			t.Fatalf("SumID(%d)=%d want %d", v, s.SumID(v), i)
+		}
+		inB[v] = true
+	}
+	for v := 0; v < c.NumNodes(); v++ {
+		if !inB[graph.Node(v)] && s.SumID(graph.Node(v)) != -1 {
+			t.Fatalf("SumID(%d) should be -1", v)
+		}
+	}
+	// Node count: boundary plus one class node per shard quotient node.
+	wantNodes := len(boundary)
+	classEdges := 0
+	for _, gr := range grs {
+		wantNodes += gr.NumNodes()
+		classEdges += gr.NumEdges()
+	}
+	if s.S.NumNodes() != wantNodes {
+		t.Fatalf("summary nodes %d want %d", s.S.NumNodes(), wantNodes)
+	}
+	// Linear size: cross edges + quotient edges + per boundary node its
+	// class's out-degree (type-3 hookups) + one exit edge (type 4).
+	maxEdges := p.CrossEdges + classEdges + len(boundary)
+	for _, v := range boundary {
+		sh := p.ShardOf[v]
+		cls := rcs[sh].ClassOf(p.LocalID[v])
+		maxEdges += grs[sh].OutDegree(cls)
+	}
+	if got := s.S.NumEdges(); got > maxEdges {
+		t.Fatalf("summary edges %d exceed the linear bound %d", got, maxEdges)
+	}
+	if s.S.NumEdges() == 0 && p.CrossEdges > 0 {
+		t.Fatal("summary unexpectedly empty")
+	}
+}
+
+// TestSummaryEncodesLocalReachability pins the class-augmented summary's
+// core property: for boundary nodes b1 != b2 in the SAME shard, a nonempty
+// summary path b1 ->+ b2 that stays on class nodes exists iff b1 locally
+// reaches b2. With zero cross contribution to the check, this isolates the
+// closure encoding.
+func TestSummaryEncodesLocalReachability(t *testing.T) {
+	g := gen.Citation(rand.New(rand.NewSource(6)), 120, 400, 4)
+	c := g.Freeze()
+	p := Split(c, 3)
+	s, _, _ := buildTestSummary(c, p)
+	sc := queries.NewScratch(0)
+	ref := queries.NewScratch(0)
+	for s1 := 0; s1 < p.K; s1++ {
+		local := p.Subgraph(c, s1).Freeze()
+		for _, b1 := range s.Boundary {
+			if p.ShardOf[b1] != int32(s1) {
+				continue
+			}
+			for _, b2 := range s.Boundary {
+				if p.ShardOf[b2] != int32(s1) || b1 == b2 {
+					continue
+				}
+				want := queries.ReachableBiCSR(local, ref, p.LocalID[b1], p.LocalID[b2])
+				// The summary may also find a crossing path; only assert
+				// the local direction (want=true must imply summary path).
+				got := queries.ReachableBiCSR(s.S, sc, s.SumID(b1), s.SumID(b2))
+				if want && !got {
+					t.Fatalf("local path %d->%d missing from summary", b1, b2)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package part
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/reach"
+)
+
+// summaryLabel is the fixed label of summary nodes; like reachability
+// compression, the summary serves only reachability, so labels carry no
+// information.
+const summaryLabel = "β"
+
+// Summary is the frozen boundary summary of one epoch. Its node set is the
+// boundary nodes of G followed by a copy of every shard's reachability
+// quotient ("class nodes"); its edges are
+//
+//  1. every cross-shard edge of G (boundary node -> boundary node),
+//  2. every local quotient edge, per shard (class -> class),
+//  3. b -> c for every quotient edge class(b) -> c (a boundary node can
+//     continue into anything its class reaches), and
+//  4. class(b) -> b for every boundary node b (a traversal arriving at a
+//     class may exit at any boundary member).
+//
+// For boundary nodes b1, b2 this encodes local reachability exactly —
+// b1 has a nonempty summary path to b2 through class nodes iff
+// QR(class(b1), class(b2)) holds on their shard's quotient, i.e. iff b1
+// locally reaches b2 — while staying linear in Σ|Gr_s| + |B| + cut size,
+// where a materialized boundary-to-boundary closure is worst-case
+// quadratic in |B|. Combined with the verbatim cross edges, a nonempty
+// summary path b1 ->+ b2 exists iff b1 reaches b2 in G by a path crossing
+// shards (or locally, which routers check first anyway). Immutable after
+// construction; safe for any number of concurrent readers.
+type Summary struct {
+	// Boundary lists the boundary nodes by ascending global id; the
+	// summary id of Boundary[i] is i. Class nodes occupy ids >= len(Boundary).
+	Boundary []graph.Node
+	// S is the summary graph over summary ids.
+	S *graph.CSR
+}
+
+// SumID returns the summary id of global node v, or -1 when v is not a
+// boundary node. O(log |Boundary|).
+func (s *Summary) SumID(v graph.Node) int32 {
+	i := sort.Search(len(s.Boundary), func(i int) bool { return s.Boundary[i] >= v })
+	if i < len(s.Boundary) && s.Boundary[i] == v {
+		return int32(i)
+	}
+	return -1
+}
+
+// NumBoundary returns the number of boundary nodes.
+func (s *Summary) NumBoundary() int { return len(s.Boundary) }
+
+// BoundaryNodes derives the sorted boundary node list from the cross-shard
+// adjacency: nodes with at least one cross-shard edge in either direction.
+func BoundaryNodes(crossOut [][]graph.Node, crossInDeg []int32) []graph.Node {
+	var out []graph.Node
+	for v := range crossOut {
+		if len(crossOut[v]) > 0 || crossInDeg[v] > 0 {
+			out = append(out, graph.Node(v))
+		}
+	}
+	return out
+}
+
+// BuildSummary assembles the frozen class-augmented summary. boundary is
+// the global boundary list, crossOut the epoch's cross-shard adjacency,
+// and, per shard, shardBoundary lists the shard's boundary nodes (global
+// ids), rcs the shard's reachability compression and grs the frozen CSR of
+// its quotient; localID maps global to shard-local ids.
+func BuildSummary(boundary []graph.Node, crossOut [][]graph.Node, shardBoundary [][]graph.Node, localID []int32, rcs []*reach.Compressed, grs []*graph.CSR) *Summary {
+	s := &Summary{Boundary: boundary}
+	nb := len(boundary)
+	k := len(grs)
+	// Class-node id layout: shard s's class c lives at classOff[s] + c.
+	classOff := make([]int32, k+1)
+	classOff[0] = int32(nb)
+	for i := 0; i < k; i++ {
+		classOff[i+1] = classOff[i] + int32(grs[i].NumNodes())
+	}
+	total := int(classOff[k])
+
+	// Dense global->summary map for the build only (queries use SumID's
+	// binary search and never pay this allocation).
+	sumOf := make(map[graph.Node]int32, nb)
+	for i, v := range boundary {
+		sumOf[v] = int32(i)
+	}
+
+	var pairs []uint64
+	add := func(a, b int32) {
+		pairs = append(pairs, uint64(uint32(a))<<32|uint64(uint32(b)))
+	}
+	// 1. Cross-shard edges, node level.
+	for _, v := range boundary {
+		sv := sumOf[v]
+		for _, w := range crossOut[v] {
+			add(sv, sumOf[w])
+		}
+	}
+	for i := 0; i < k; i++ {
+		off := classOff[i]
+		// 2. Local quotient edges.
+		grs[i].Edges(func(a, b graph.Node) bool {
+			add(off+a, off+b)
+			return true
+		})
+		// 3. and 4. Boundary hookups through their classes.
+		for _, g := range shardBoundary[i] {
+			b := sumOf[g]
+			cls := rcs[i].ClassOf(localID[g])
+			for _, c := range grs[i].Successors(cls) {
+				add(b, off+c)
+			}
+			add(off+cls, b)
+		}
+	}
+	slices.Sort(pairs)
+	pairs = slices.Compact(pairs)
+
+	labels := graph.NewLabels()
+	beta := labels.Intern(summaryLabel)
+	labelArr := make([]graph.Label, total)
+	for i := range labelArr {
+		labelArr[i] = beta
+	}
+	outDeg := make([]int32, total)
+	for _, pr := range pairs {
+		outDeg[pr>>32]++
+	}
+	flat := make([]graph.Node, len(pairs))
+	rows := make([][]graph.Node, total)
+	off := int32(0)
+	for b := 0; b < total; b++ {
+		rows[b] = flat[off : off : off+outDeg[b]]
+		off += outDeg[b]
+	}
+	for _, pr := range pairs {
+		rows[pr>>32] = append(rows[pr>>32], graph.Node(uint32(pr)))
+	}
+	s.S = graph.BuildFromSortedAdj(labels, labelArr, rows).Freeze()
+	return s
+}

@@ -1,0 +1,105 @@
+package queries
+
+import (
+	"repro/internal/graph"
+)
+
+// This file holds the traversal primitives behind cross-shard query
+// routing: a sharded reachability query decomposes into a local forward
+// collection (which boundary classes does u reach?), a multi-source hop
+// over the boundary summary, and a local backward collection. All three
+// reuse the epoch-stamped Scratch, so a warm routed query allocates nothing
+// beyond result-slice growth.
+
+// DescendantsCSR appends to dst every node reachable from u by a nonempty
+// path over c and returns the extended slice. With a warm scratch and a
+// dst of sufficient capacity the call performs no heap allocation.
+func DescendantsCSR(c *graph.CSR, s *Scratch, u graph.Node, dst []graph.Node) []graph.Node {
+	s.begin(c.NumNodes())
+	epoch := s.epoch
+	queue := s.queue[:0]
+	for _, w := range c.Successors(u) {
+		if s.fwd[w] != epoch {
+			s.fwd[w] = epoch
+			queue = append(queue, w)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		for _, w := range c.Successors(queue[i]) {
+			if s.fwd[w] != epoch {
+				s.fwd[w] = epoch
+				queue = append(queue, w)
+			}
+		}
+	}
+	dst = append(dst, queue...)
+	s.queue = queue
+	return dst
+}
+
+// AncestorsCSR appends to dst every node that reaches u by a nonempty path
+// over c and returns the extended slice.
+func AncestorsCSR(c *graph.CSR, s *Scratch, u graph.Node, dst []graph.Node) []graph.Node {
+	s.begin(c.NumNodes())
+	epoch := s.epoch
+	queue := s.queue[:0]
+	for _, w := range c.Predecessors(u) {
+		if s.bwd[w] != epoch {
+			s.bwd[w] = epoch
+			queue = append(queue, w)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		for _, w := range c.Predecessors(queue[i]) {
+			if s.bwd[w] != epoch {
+				s.bwd[w] = epoch
+				queue = append(queue, w)
+			}
+		}
+	}
+	dst = append(dst, queue...)
+	s.queue = queue
+	return dst
+}
+
+// ReachableAnyCSR reports whether any source reaches a node satisfying
+// isTarget by a nonempty path over c. Sources themselves satisfy the query
+// only when re-reached through an edge, matching the nonempty-path
+// semantics of Reachable. isTarget is consulted once per distinct visited
+// node.
+func ReachableAnyCSR(c *graph.CSR, s *Scratch, sources []graph.Node, isTarget func(graph.Node) bool) bool {
+	s.begin(c.NumNodes())
+	epoch := s.epoch
+	queue := s.queue[:0]
+	hit := false
+	visit := func(w graph.Node) {
+		if s.fwd[w] != epoch {
+			s.fwd[w] = epoch
+			if isTarget(w) {
+				hit = true
+				return
+			}
+			queue = append(queue, w)
+		}
+	}
+	for _, u := range sources {
+		for _, w := range c.Successors(u) {
+			visit(w)
+			if hit {
+				s.queue = queue
+				return true
+			}
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		for _, w := range c.Successors(queue[i]) {
+			visit(w)
+			if hit {
+				s.queue = queue
+				return true
+			}
+		}
+	}
+	s.queue = queue
+	return false
+}

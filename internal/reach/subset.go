@@ -1,0 +1,74 @@
+package reach
+
+import (
+	"repro/internal/graph"
+)
+
+// SubsetClosure computes the reachability closure of G restricted to a
+// node subset, answered entirely over the compressed graph: it returns
+// every ordered pair (i, j), i != j, such that nodes[j] is reachable from
+// nodes[i] by a nonempty path. gr must be a frozen CSR snapshot of c.Gr
+// (as returned by the incremental maintainer's CompressedCSR hook).
+//
+// This is the explicit (materialized) form of a range-restricted
+// reachability build: one BFS per distinct class of the subset over the
+// small quotient — never over G itself — so the cost is
+// O(distinct classes × |Gr| + output). The sharded store's boundary
+// summary deliberately does NOT use it: with the subset being a shard's
+// boundary node set the output is worst-case quadratic in the subset
+// size, so part.BuildSummary embeds the quotient itself (linear) instead;
+// this function is the kept-for-comparison alternative, pinned correct by
+// a differential test.
+func (c *Compressed) SubsetClosure(gr *graph.CSR, nodes []graph.Node) [][2]int32 {
+	// Group subset indices by their class, keeping first-appearance order
+	// for deterministic output.
+	byClass := make(map[graph.Node][]int32, len(nodes))
+	var classes []graph.Node
+	for i, v := range nodes {
+		cls := c.ClassOf(v)
+		if _, ok := byClass[cls]; !ok {
+			classes = append(classes, cls)
+		}
+		byClass[cls] = append(byClass[cls], int32(i))
+	}
+
+	n := gr.NumNodes()
+	seen := make([]uint32, n)
+	epoch := uint32(0)
+	queue := make([]graph.Node, 0, 64)
+	var out [][2]int32
+	for _, src := range classes {
+		// Nonempty-path BFS from src over the quotient: src itself counts
+		// as reached only via a cycle back (its self-loop when cyclic).
+		epoch++
+		queue = queue[:0]
+		for _, w := range gr.Successors(src) {
+			if seen[w] != epoch {
+				seen[w] = epoch
+				queue = append(queue, w)
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			for _, w := range gr.Successors(queue[qi]) {
+				if seen[w] != epoch {
+					seen[w] = epoch
+					queue = append(queue, w)
+				}
+			}
+		}
+		srcs := byClass[src]
+		for _, cls := range classes {
+			if seen[cls] != epoch {
+				continue
+			}
+			for _, i := range srcs {
+				for _, j := range byClass[cls] {
+					if i != j {
+						out = append(out, [2]int32{i, j})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

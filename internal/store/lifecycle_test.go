@@ -1,0 +1,98 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/queries"
+)
+
+// TestReachableHop2Fallback covers the Indexes:false configuration: the OK
+// variant reports the missing index, the Store-level method falls back to
+// the compressed traversal path, and the panicking variant fails loudly
+// rather than with a nil dereference.
+func TestReachableHop2Fallback(t *testing.T) {
+	g := socialGraph(21, 120, 500)
+	mirror := g.Clone()
+	s := Open(g, &Options{Indexes: false})
+	defer s.Close()
+
+	sn := s.Snapshot()
+	sc := queries.NewScratch(0)
+	for u := graph.Node(0); u < 30; u++ {
+		for v := graph.Node(0); v < 30; v++ {
+			if _, ok := sn.ReachableHop2OK(u, v); ok {
+				t.Fatalf("ReachableHop2OK reported an index with Indexes:false")
+			}
+			want := sn.Reachable(sc, u, v)
+			if got := s.ReachableHop2(u, v); got != want {
+				t.Fatalf("ReachableHop2 fallback (%d,%d)=%v want %v", u, v, got, want)
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Snapshot.ReachableHop2 should panic without indexes")
+			}
+		}()
+		sn.ReachableHop2(0, 1)
+	}()
+
+	// With indexes on, all three agree.
+	s2 := Open(mirror.Clone(), nil)
+	defer s2.Close()
+	sn2 := s2.Snapshot()
+	for u := graph.Node(0); u < 30; u++ {
+		for v := graph.Node(0); v < 30; v++ {
+			want := sn2.Reachable(sc, u, v)
+			got, ok := sn2.ReachableHop2OK(u, v)
+			if !ok || got != want {
+				t.Fatalf("ReachableHop2OK(%d,%d)=(%v,%v) want (%v,true)", u, v, got, ok, want)
+			}
+			if s2.ReachableHop2(u, v) != want {
+				t.Fatalf("Store.ReachableHop2(%d,%d) != %v", u, v, want)
+			}
+		}
+	}
+}
+
+// TestStoreCloseServesLastEpoch strengthens the Close contract test: after
+// Close, both Store-level queries and pinned snapshots answer with exactly
+// the final epoch's state.
+func TestStoreCloseServesLastEpoch(t *testing.T) {
+	g := socialGraph(22, 100, 400)
+	mirror := g.Clone()
+	s := Open(g, nil)
+	batch := []graph.Update{
+		graph.Insertion(0, 1), graph.Insertion(1, 2), graph.Deletion(0, 1),
+	}
+	mirror.Apply(batch)
+	res, err := s.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // double Close is safe
+	if _, err := s.ApplyBatch([]graph.Update{graph.Insertion(3, 4)}); err != ErrClosed {
+		t.Fatalf("ApplyBatch after Close: want ErrClosed, got %v", err)
+	}
+	sn := s.Snapshot()
+	if sn.Epoch != res.Epoch {
+		t.Fatalf("post-Close epoch %d, want %d", sn.Epoch, res.Epoch)
+	}
+	ref := mirror.Freeze()
+	sc := queries.NewScratch(0)
+	refSc := queries.NewScratch(0)
+	for u := graph.Node(0); u < 25; u++ {
+		for v := graph.Node(0); v < 25; v++ {
+			want := queries.ReachableBiCSR(ref, refSc, u, v)
+			if got := s.Reachable(u, v); got != want {
+				t.Fatalf("post-Close Reachable(%d,%d)=%v want %v", u, v, got, want)
+			}
+			if got := sn.ReachableOnG(sc, u, v); got != want {
+				t.Fatalf("post-Close ReachableOnG(%d,%d)=%v want %v", u, v, got, want)
+			}
+		}
+	}
+}

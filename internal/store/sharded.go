@@ -1,0 +1,749 @@
+// Sharded store: k partition-parallel compression pipelines behind one
+// coordinator, with a frozen boundary summary graph for cross-shard
+// reachability and a stitched bisimulation quotient for cross-shard
+// pattern matching.
+//
+// # Architecture (one writer per shard, routed from a coordinator)
+//
+// OpenSharded splits G into k shards with part.Split (SCC-aware, so local
+// reachability structure never straddles shards) and starts one writer
+// goroutine per shard, each owning that shard's incremental maintainers
+// (increach + incbisim over the shard's local subgraph). A coordinator
+// goroutine serializes ApplyBatch calls, routes each update to the shard
+// owning both endpoints — or, for cross-shard edges, applies it to the
+// coordinator-owned cross adjacency — fans the per-shard sub-batches out
+// to the shard writers, and, once all writers acknowledge, assembles and
+// publishes the epoch's ShardedSnapshot by one atomic pointer swap:
+// a vector of per-shard snapshots plus the boundary summary and stitched
+// quotient. The consistency model is the same as the unsharded Store's:
+// batch-atomic visibility, read-your-writes for the ApplyBatch caller,
+// coalescing under pressure.
+//
+// # Query routing
+//
+// Reachable(u,v) runs local-lookup → summary-hop → local-lookup: a
+// same-shard query first consults the shard's own compressed quotient (or
+// its 2-hop index); any remaining possibility must cross shards, so the
+// router collects the boundary nodes u reaches locally, the boundary nodes
+// that reach v locally, and asks the frozen summary CSR whether the first
+// set reaches the second. Match evaluates on the stitched quotient — a
+// true bisimulation of G, so answers are exact — and expands the result
+// back to G fanning out per shard (stitched blocks never span shards).
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bisim"
+	"repro/internal/graph"
+	"repro/internal/hop2"
+	"repro/internal/incbisim"
+	"repro/internal/increach"
+	"repro/internal/part"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+	"repro/internal/reach"
+)
+
+// ShardedOptions configures a ShardedStore.
+type ShardedOptions struct {
+	// Shards is the partition count k (clamped to >= 1; 1 degenerates to a
+	// single local pipeline with an empty summary).
+	Shards int
+	// Indexes controls per-shard 2-hop indexes over the local reachability
+	// quotients, used as the same-shard fast path.
+	Indexes bool
+}
+
+// DefaultShardedOptions returns the standard configuration: 4 shards,
+// per-shard 2-hop indexes on.
+func DefaultShardedOptions() ShardedOptions { return ShardedOptions{Shards: 4, Indexes: true} }
+
+// ShardView is one shard's slice of a ShardedSnapshot: the frozen local
+// subgraph and its reachability-compressed read path.
+type ShardView struct {
+	// G is the frozen local subgraph (local node ids).
+	G *graph.CSR
+	// Reach is the shard's reachability-compressed read path (local ids).
+	Reach ReachView
+	// byClass maps a local reach class to the summary ids of the boundary
+	// nodes it contains.
+	byClass [][]graph.Node
+}
+
+// ShardedSnapshot is the immutable query state of one epoch of a
+// ShardedStore: the per-shard snapshot vector, the boundary summary, and
+// the stitched pattern quotient, all published together by one atomic
+// swap. Safe for concurrent use by any number of goroutines.
+type ShardedSnapshot struct {
+	// Epoch counts accepted batches, as in Snapshot.
+	Epoch uint64
+	// Shards is the per-shard snapshot vector.
+	Shards []ShardView
+	// Summary is the epoch's frozen boundary summary.
+	Summary *part.Summary
+	// Stitched is the epoch's cross-shard pattern quotient.
+	Stitched *part.Stitched
+
+	p        *part.Partition
+	crossOut [][]graph.Node // per-epoch immutable cross-shard successors
+}
+
+// RouteScratch is reusable traversal state for queries against a
+// ShardedSnapshot: local BFS marks, summary BFS marks, target stamps and
+// collection buffers. A RouteScratch is owned by one goroutine at a time;
+// with a warm scratch, routed point queries allocate nothing.
+type RouteScratch struct {
+	local *queries.Scratch // local quotient traversals
+	sum   *queries.Scratch // summary traversals
+
+	tgt      []uint32 // target marks over summary ids
+	tgtEpoch uint32
+
+	gMark  []uint32 // composite-graph marks for ReachableOnG
+	gEpoch uint32
+	gQueue []graph.Node
+
+	buf []graph.Node // source summary ids
+	cls []graph.Node // reached local classes
+}
+
+// NewRouteScratch returns an empty scratch; all state grows on demand.
+func NewRouteScratch() *RouteScratch {
+	return &RouteScratch{local: queries.NewScratch(0), sum: queries.NewScratch(0)}
+}
+
+// beginTargets readies the target-mark array for nb summary nodes.
+func (rs *RouteScratch) beginTargets(nb int) {
+	if len(rs.tgt) < nb {
+		rs.tgt = make([]uint32, nb)
+		rs.tgtEpoch = 0
+	}
+	rs.tgtEpoch++
+	if rs.tgtEpoch == 0 {
+		clear(rs.tgt)
+		rs.tgtEpoch = 1
+	}
+}
+
+// beginG readies the composite-graph marks for n global nodes.
+func (rs *RouteScratch) beginG(n int) {
+	if len(rs.gMark) < n {
+		rs.gMark = make([]uint32, n)
+		rs.gEpoch = 0
+	}
+	rs.gEpoch++
+	if rs.gEpoch == 0 {
+		clear(rs.gMark)
+		rs.gEpoch = 1
+	}
+}
+
+// Reachable answers QR(u,v) on the sharded snapshot: same-shard pairs are
+// answered by the shard's local quotient (or 2-hop index) first; anything
+// else routes local-lookup → summary-hop → local-lookup. Exact for every
+// pair, including cross-shard cycles.
+func (sn *ShardedSnapshot) Reachable(rs *RouteScratch, u, v graph.Node) bool {
+	p := sn.p
+	su, sv := p.ShardOf[u], p.ShardOf[v]
+	lu, lv := p.LocalID[u], p.LocalID[v]
+	if su == sv {
+		sh := &sn.Shards[su]
+		cu, cv := sh.Reach.Compressed.Rewrite(lu, lv)
+		if sh.Reach.Index != nil {
+			if sh.Reach.Index.Reachable(cu, cv) {
+				return true
+			}
+		} else if queries.ReachableBiCSR(sh.Reach.Gr, rs.local, cu, cv) {
+			return true
+		}
+		// A fully local path does not exist; a path leaving and re-entering
+		// the shard still might — fall through to the summary route.
+	}
+	if sn.Summary.NumBoundary() == 0 {
+		return false
+	}
+
+	// Local lookup, forward: boundary nodes u reaches inside its shard
+	// (u itself counts when it is a boundary node).
+	shu := &sn.Shards[su]
+	rs.cls = queries.DescendantsCSR(shu.Reach.Gr, rs.local, shu.Reach.Compressed.ClassOf(lu), rs.cls[:0])
+	rs.buf = rs.buf[:0]
+	for _, c := range rs.cls {
+		rs.buf = append(rs.buf, shu.byClass[c]...)
+	}
+	if id := sn.Summary.SumID(u); id >= 0 {
+		rs.buf = append(rs.buf, id)
+	}
+	if len(rs.buf) == 0 {
+		return false
+	}
+
+	// Local lookup, backward: boundary nodes reaching v inside its shard.
+	shv := &sn.Shards[sv]
+	rs.cls = queries.AncestorsCSR(shv.Reach.Gr, rs.local, shv.Reach.Compressed.ClassOf(lv), rs.cls[:0])
+	// Marks must cover every summary node: the BFS traverses class nodes
+	// (ids >= NumBoundary) even though only boundary nodes are targets.
+	rs.beginTargets(sn.Summary.S.NumNodes())
+	targets := 0
+	for _, c := range rs.cls {
+		for _, id := range shv.byClass[c] {
+			if rs.tgt[id] != rs.tgtEpoch {
+				rs.tgt[id] = rs.tgtEpoch
+				targets++
+			}
+		}
+	}
+	if id := sn.Summary.SumID(v); id >= 0 && rs.tgt[id] != rs.tgtEpoch {
+		rs.tgt[id] = rs.tgtEpoch
+		targets++
+	}
+	if targets == 0 {
+		return false
+	}
+
+	// Summary hop: does some source boundary node reach some target
+	// boundary node by a nonempty summary path?
+	return queries.ReachableAnyCSR(sn.Summary.S, rs.sum, rs.buf, func(w graph.Node) bool {
+		return rs.tgt[w] == rs.tgtEpoch
+	})
+}
+
+// ReachableOnG answers QR(u,v) by BFS over the composite of the local
+// subgraphs and the cross-shard adjacency — semantically the uncompressed
+// G of this epoch. It is the sharded baseline/verification path.
+func (sn *ShardedSnapshot) ReachableOnG(rs *RouteScratch, u, v graph.Node) bool {
+	p := sn.p
+	rs.beginG(len(p.ShardOf))
+	epoch := rs.gEpoch
+	queue := rs.gQueue[:0]
+	found := false
+	visit := func(w graph.Node) {
+		if w == v {
+			found = true
+			return
+		}
+		if rs.gMark[w] != epoch {
+			rs.gMark[w] = epoch
+			queue = append(queue, w)
+		}
+	}
+	expand := func(x graph.Node) {
+		s := p.ShardOf[x]
+		lx := p.LocalID[x]
+		for _, lw := range sn.Shards[s].G.Successors(lx) {
+			visit(p.Nodes[s][lw])
+			if found {
+				return
+			}
+		}
+		for _, w := range sn.crossOut[x] {
+			visit(w)
+			if found {
+				return
+			}
+		}
+	}
+	expand(u)
+	for i := 0; i < len(queue) && !found; i++ {
+		expand(queue[i])
+	}
+	rs.gQueue = queue
+	return found
+}
+
+// Match computes the maximum match of pt on the stitched quotient and
+// expands it back to G, fanning the expansion out per shard and merging
+// the per-shard chunks (stitched blocks never span shards).
+func (sn *ShardedSnapshot) Match(pt *pattern.Pattern) *pattern.Result {
+	r := pattern.MatchCSR(sn.Stitched.Q, pt)
+	if !r.OK {
+		return r
+	}
+	k := sn.p.K
+	np := len(r.Sets)
+	chunks := make([][][]graph.Node, k) // shard -> pattern node -> members
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		go func(s int) {
+			defer wg.Done()
+			mine := make([][]graph.Node, np)
+			for u, classes := range r.Sets {
+				for _, cls := range classes {
+					if sn.Stitched.ShardOfBlock[cls] == int32(s) {
+						mine[u] = append(mine[u], sn.Stitched.Members[cls]...)
+					}
+				}
+			}
+			chunks[s] = mine
+		}(s)
+	}
+	wg.Wait()
+	out := &pattern.Result{OK: true, Sets: make([][]graph.Node, np)}
+	for u := 0; u < np; u++ {
+		var set []graph.Node
+		for s := 0; s < k; s++ {
+			set = append(set, chunks[s][u]...)
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		out.Sets[u] = set
+	}
+	return out
+}
+
+// ShardedApplyResult reports one ShardedStore.ApplyBatch call.
+type ShardedApplyResult struct {
+	// Epoch is the epoch at which the batch became visible.
+	Epoch uint64
+	// LocalUpdates and CrossUpdates count how the batch's updates were
+	// routed: to a single shard's pipeline vs. the cross-shard adjacency.
+	LocalUpdates, CrossUpdates int
+}
+
+// ShardedStats is a point-in-time summary of a ShardedStore.
+type ShardedStats struct {
+	// Epoch, Batches, Updates and Reads count accepted work, as in Stats.
+	Epoch, Batches, Updates, Reads uint64
+	// Shards is the partition count k.
+	Shards int
+	// Nodes and Edges describe the composite G at the latest snapshot
+	// (local edges of all shards plus cross-shard edges).
+	Nodes, Edges int
+	// CrossEdges and Boundary describe the cut: cross-shard edges and
+	// boundary nodes.
+	CrossEdges, Boundary int
+	// SummaryEdges counts edges of the boundary summary graph.
+	SummaryEdges int
+	// ReachClasses sums the per-shard reachability quotient sizes;
+	// StitchClasses counts the stitched pattern quotient's blocks.
+	ReachClasses, StitchClasses int
+}
+
+type shardedApplyReq struct {
+	batch []graph.Update
+	res   chan ShardedApplyResult
+}
+
+// shardCmd asks a shard writer to apply a local sub-batch (possibly empty)
+// and refresh its epoch view.
+type shardCmd struct {
+	batch []graph.Update // local-id updates
+	view  *shardEpochView
+	wg    *sync.WaitGroup
+}
+
+// shardEpochView is one shard's contribution to a publish, filled in by
+// the shard writer.
+type shardEpochView struct {
+	g     *graph.CSR
+	rGr   *graph.CSR
+	rc    *reach.Compressed
+	part  *bisim.Partition
+	dirty bool
+}
+
+// shardWorker owns one shard's incremental maintainers; only its writer
+// goroutine touches them.
+type shardWorker struct {
+	local *graph.Graph // handed to run(), which builds the maintainers
+	reqs  chan *shardCmd
+	done  chan struct{}
+}
+
+func (w *shardWorker) run() {
+	defer close(w.done)
+	rm := increach.New(w.local)
+	pm := incbisim.New(w.local.Clone())
+	w.local = nil
+	var cached shardEpochView
+	for cmd := range w.reqs {
+		if len(cmd.batch) > 0 || cached.g == nil {
+			if len(cmd.batch) > 0 {
+				rm.Apply(cmd.batch)
+				pm.Apply(cmd.batch)
+			}
+			cached.g = rm.Graph().Freeze()
+			cached.rc, cached.rGr = rm.CompressedCSR()
+			cached.part = pm.Partition()
+			cmd.view.dirty = true
+		}
+		cmd.view.g = cached.g
+		cmd.view.rGr = cached.rGr
+		cmd.view.rc = cached.rc
+		cmd.view.part = cached.part
+		cmd.wg.Done()
+	}
+}
+
+// ShardedStore is a concurrent compressed-graph store with k
+// partition-parallel write pipelines: one coordinator, one writer per
+// shard, any number of readers. See the file documentation for the
+// architecture and consistency model.
+type ShardedStore struct {
+	opts   ShardedOptions
+	p      *part.Partition
+	labels *graph.Labels
+
+	workers []*shardWorker
+
+	// Coordinator-owned evolving cross-shard state. Rows of crossOut are
+	// copy-on-write: mutation writes a fresh slice, so published snapshots
+	// can share rows safely.
+	crossOut      [][]graph.Node
+	crossInDeg    []int32
+	crossEdges    int
+	boundary      []graph.Node   // cached global boundary list
+	shardBoundary [][]graph.Node // cached per-shard boundary lists
+	boundaryDirty bool
+	byClass       [][][]graph.Node  // per-shard class -> summary ids
+	hopIdx        []*hop2.Index     // cached per-shard 2-hop indexes
+	views         []*shardEpochView // latest per-shard views
+
+	snap    atomic.Pointer[ShardedSnapshot]
+	scratch sync.Pool // *RouteScratch
+
+	reqs chan shardedApplyReq
+	idle chan struct{}
+
+	mu     sync.RWMutex // guards closed vs. sends on reqs
+	closed bool
+
+	batches atomic.Uint64
+	updates atomic.Uint64
+	reads   atomic.Uint64
+}
+
+// OpenSharded takes ownership of g (it must not be used afterwards),
+// partitions it into opts.Shards shards, builds every shard's compression
+// pipeline concurrently, publishes the epoch-0 snapshot, and starts the
+// coordinator. Close releases it.
+func OpenSharded(g *graph.Graph, opts *ShardedOptions) *ShardedStore {
+	o := DefaultShardedOptions()
+	if opts != nil {
+		o = *opts
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	c := g.Freeze()
+	p := part.Split(c, o.Shards)
+	s := &ShardedStore{
+		opts:          o,
+		p:             p,
+		labels:        c.Labels(),
+		crossOut:      p.CrossOut,
+		crossInDeg:    p.CrossInDeg,
+		crossEdges:    p.CrossEdges,
+		boundaryDirty: true,
+		byClass:       make([][][]graph.Node, o.Shards),
+		hopIdx:        make([]*hop2.Index, o.Shards),
+		views:         make([]*shardEpochView, o.Shards),
+		reqs:          make(chan shardedApplyReq),
+		idle:          make(chan struct{}),
+	}
+	s.scratch.New = func() any { return NewRouteScratch() }
+	s.workers = make([]*shardWorker, o.Shards)
+	for i := 0; i < o.Shards; i++ {
+		w := &shardWorker{
+			local: p.Subgraph(c, i),
+			reqs:  make(chan *shardCmd),
+			done:  make(chan struct{}),
+		}
+		s.workers[i] = w
+		go w.run() // builds the shard pipeline, then serves commands
+	}
+	s.roundTrip(make([][]graph.Update, o.Shards))
+	s.publish(0)
+	go s.run()
+	return s
+}
+
+// roundTrip routes the per-shard sub-batches to the shard writers and
+// waits for the touched writers to refresh their views. Shards with an
+// empty sub-batch keep last epoch's view untouched and are not messaged at
+// all (except on the first trip, when every view must be materialized), so
+// a batch naming few shards costs few coordinator-writer handoffs. Touched
+// writers run concurrently; the coordinator blocks until the slowest
+// finishes.
+func (s *ShardedStore) roundTrip(batches [][]graph.Update) {
+	var wg sync.WaitGroup
+	for i, w := range s.workers {
+		if len(batches[i]) == 0 && s.views[i] != nil {
+			continue
+		}
+		view := &shardEpochView{}
+		s.views[i] = view
+		wg.Add(1)
+		w.reqs <- &shardCmd{batch: batches[i], view: view, wg: &wg}
+	}
+	wg.Wait()
+}
+
+// applyCross applies one cross-shard update to the coordinator's cross
+// adjacency with copy-on-write rows. It returns whether the edge set
+// changed and marks the boundary list dirty when a node's boundary
+// membership flipped.
+func (s *ShardedStore) applyCross(u, v graph.Node, insert bool) bool {
+	row := s.crossOut[u]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	present := i < len(row) && row[i] == v
+	if insert == present {
+		return false
+	}
+	wasBoundaryU := len(row) > 0 || s.crossInDeg[u] > 0
+	wasBoundaryV := len(s.crossOut[v]) > 0 || s.crossInDeg[v] > 0
+	if insert {
+		next := make([]graph.Node, len(row)+1)
+		copy(next, row[:i])
+		next[i] = v
+		copy(next[i+1:], row[i:])
+		s.crossOut[u] = next
+		s.crossInDeg[v]++
+		s.crossEdges++
+	} else {
+		next := make([]graph.Node, 0, len(row)-1)
+		next = append(next, row[:i]...)
+		next = append(next, row[i+1:]...)
+		if len(next) == 0 {
+			next = nil
+		}
+		s.crossOut[u] = next
+		s.crossInDeg[v]--
+		s.crossEdges--
+	}
+	if isB := len(s.crossOut[u]) > 0 || s.crossInDeg[u] > 0; isB != wasBoundaryU {
+		s.boundaryDirty = true
+	}
+	if isB := len(s.crossOut[v]) > 0 || s.crossInDeg[v] > 0; isB != wasBoundaryV {
+		s.boundaryDirty = true
+	}
+	return true
+}
+
+// run is the coordinator goroutine: it serializes batches, coalesces under
+// pressure, routes updates to the shard writers, and publishes one
+// snapshot per group.
+func (s *ShardedStore) run() {
+	defer func() {
+		for _, w := range s.workers {
+			close(w.reqs)
+		}
+		for _, w := range s.workers {
+			<-w.done
+		}
+		close(s.idle)
+	}()
+	for req := range s.reqs {
+		pending := []shardedApplyReq{req}
+	drain:
+		for len(pending) < maxCoalesce {
+			select {
+			case r, ok := <-s.reqs:
+				if !ok {
+					break drain
+				}
+				pending = append(pending, r)
+			default:
+				break drain
+			}
+		}
+		k := s.opts.Shards
+		batches := make([][]graph.Update, k)
+		results := make([]ShardedApplyResult, len(pending))
+		for i, p := range pending {
+			results[i].Epoch = s.batches.Add(1)
+			for _, up := range p.batch {
+				su, sv := s.p.ShardOf[up.From], s.p.ShardOf[up.To]
+				if su == sv {
+					batches[su] = append(batches[su], graph.Update{
+						From:   s.p.LocalID[up.From],
+						To:     s.p.LocalID[up.To],
+						Insert: up.Insert,
+					})
+					results[i].LocalUpdates++
+				} else {
+					s.applyCross(up.From, up.To, up.Insert)
+					results[i].CrossUpdates++
+				}
+			}
+			s.updates.Add(uint64(len(p.batch)))
+		}
+		s.roundTrip(batches)
+		s.publish(results[len(results)-1].Epoch)
+		for i, p := range pending {
+			p.res <- results[i]
+		}
+	}
+}
+
+// publish assembles and swaps in the epoch's snapshot from the latest
+// shard views and cross-shard state. Called from OpenSharded and then only
+// from the coordinator goroutine.
+func (s *ShardedStore) publish(epoch uint64) {
+	k := s.opts.Shards
+	if s.boundaryDirty {
+		s.boundary = part.BoundaryNodes(s.crossOut, s.crossInDeg)
+		s.shardBoundary = make([][]graph.Node, k)
+		for _, v := range s.boundary {
+			sh := s.p.ShardOf[v]
+			s.shardBoundary[sh] = append(s.shardBoundary[sh], v)
+		}
+		s.boundaryDirty = false
+	}
+
+	// Per-shard 2-hop indexes; clean shards reuse the cached index.
+	hopWanted := make([]*graph.CSR, k)
+	rcs := make([]*reach.Compressed, k)
+	grs := make([]*graph.CSR, k)
+	for i := 0; i < k; i++ {
+		v := s.views[i]
+		rcs[i] = v.rc
+		grs[i] = v.rGr
+		if s.opts.Indexes && (v.dirty || s.hopIdx[i] == nil) {
+			hopWanted[i] = v.rGr
+		}
+	}
+	summary := part.BuildSummary(s.boundary, s.crossOut, s.shardBoundary, s.p.LocalID, rcs, grs)
+	// Class -> summary-id maps are rebuilt every publish: they are cheap
+	// (O(classes + boundary) per shard) and summary ids shift whenever the
+	// boundary set changes.
+	for i := 0; i < k; i++ {
+		v := s.views[i]
+		by := make([][]graph.Node, v.rc.NumClasses())
+		for _, g := range s.shardBoundary[i] {
+			cls := v.rc.ClassOf(s.p.LocalID[g])
+			by[cls] = append(by[cls], summary.SumID(g))
+		}
+		s.byClass[i] = by
+	}
+	if s.opts.Indexes {
+		built := hop2.BuildAll(hopWanted, 0)
+		for i := 0; i < k; i++ {
+			if built[i] != nil {
+				s.hopIdx[i] = built[i]
+			}
+		}
+	}
+
+	locals := make([]*graph.CSR, k)
+	parts := make([]*bisim.Partition, k)
+	for i := 0; i < k; i++ {
+		locals[i] = s.views[i].g
+		parts[i] = s.views[i].part
+	}
+	stitched := part.BuildStitched(s.p, locals, parts, s.crossOut, s.labels)
+
+	shards := make([]ShardView, k)
+	for i := 0; i < k; i++ {
+		v := s.views[i]
+		shards[i] = ShardView{
+			G: v.g,
+			Reach: ReachView{
+				Gr:         v.rGr,
+				Compressed: v.rc,
+				Index:      s.hopIdx[i],
+			},
+			byClass: s.byClass[i],
+		}
+		v.dirty = false
+	}
+	sn := &ShardedSnapshot{
+		Epoch:    epoch,
+		Shards:   shards,
+		Summary:  summary,
+		Stitched: stitched,
+		p:        s.p,
+		crossOut: append([][]graph.Node(nil), s.crossOut...),
+	}
+	s.snap.Store(sn)
+}
+
+// ApplyBatch submits one batch ΔG and blocks until the snapshot containing
+// it is published. Semantics match Store.ApplyBatch: arrival order,
+// batch-atomic visibility, ErrClosed after Close.
+func (s *ShardedStore) ApplyBatch(batch []graph.Update) (ShardedApplyResult, error) {
+	req := shardedApplyReq{batch: batch, res: make(chan ShardedApplyResult, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ShardedApplyResult{}, ErrClosed
+	}
+	s.reqs <- req
+	s.mu.RUnlock()
+	return <-req.res, nil
+}
+
+// Close stops the coordinator and every shard writer after the queue
+// drains. Queries remain answerable on the final snapshot; further
+// ApplyBatch calls fail with ErrClosed. Close is idempotent.
+func (s *ShardedStore) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqs)
+	}
+	s.mu.Unlock()
+	<-s.idle
+}
+
+// Snapshot returns the current epoch's immutable query state. Use it to
+// pin a sequence of queries to one consistent epoch.
+func (s *ShardedStore) Snapshot() *ShardedSnapshot { return s.snap.Load() }
+
+// getScratch pools routing scratch across readers.
+func (s *ShardedStore) getScratch() *RouteScratch { return s.scratch.Get().(*RouteScratch) }
+
+// Reachable answers QR(u,v) on the current snapshot via the sharded read
+// path. Safe for any number of concurrent callers, also during ApplyBatch.
+func (s *ShardedStore) Reachable(u, v graph.Node) bool {
+	s.reads.Add(1)
+	rs := s.getScratch()
+	ok := s.Snapshot().Reachable(rs, u, v)
+	s.scratch.Put(rs)
+	return ok
+}
+
+// ReachableOnG answers QR(u,v) on the current snapshot's composite
+// uncompressed graph — the sharded baseline path.
+func (s *ShardedStore) ReachableOnG(u, v graph.Node) bool {
+	s.reads.Add(1)
+	rs := s.getScratch()
+	ok := s.Snapshot().ReachableOnG(rs, u, v)
+	s.scratch.Put(rs)
+	return ok
+}
+
+// Match answers the pattern query on the current snapshot via the stitched
+// quotient with per-shard expansion.
+func (s *ShardedStore) Match(p *pattern.Pattern) *pattern.Result {
+	s.reads.Add(1)
+	return s.Snapshot().Match(p)
+}
+
+// Stats summarizes the store at the current snapshot.
+func (s *ShardedStore) Stats() ShardedStats {
+	sn := s.Snapshot()
+	st := ShardedStats{
+		Epoch:         sn.Epoch,
+		Batches:       s.batches.Load(),
+		Updates:       s.updates.Load(),
+		Reads:         s.reads.Load(),
+		Shards:        s.opts.Shards,
+		Nodes:         len(s.p.ShardOf),
+		Boundary:      sn.Summary.NumBoundary(),
+		SummaryEdges:  sn.Summary.S.NumEdges(),
+		StitchClasses: sn.Stitched.NumBlocks(),
+	}
+	for i := range sn.Shards {
+		st.Edges += sn.Shards[i].G.NumEdges()
+		st.ReachClasses += sn.Shards[i].Reach.Gr.NumNodes()
+	}
+	for _, row := range sn.crossOut {
+		st.CrossEdges += len(row)
+	}
+	st.Edges += st.CrossEdges
+	return st
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/queries"
+)
+
+// shardedTopologies builds the differential-test graph zoo: every generator
+// family at small scale, covering cyclic social graphs, DAG-heavy citation
+// graphs, sparse p2p and dense ER graphs.
+func shardedTopologies(seed int64) map[string]*graph.Graph {
+	rng := func(d int64) *rand.Rand { return rand.New(rand.NewSource(seed + d)) }
+	return map[string]*graph.Graph{
+		"social":   gen.Social(rng(0), 220, 900, 5),
+		"web":      gen.Web(rng(1), 220, 800, 5),
+		"citation": gen.Citation(rng(2), 200, 700, 5),
+		"p2p":      gen.P2P(rng(3), 200, 600, 5),
+		"er":       gen.ErdosRenyi(rng(4), 150, 500, 5),
+	}
+}
+
+func sameResultSets(a, b *pattern.Result) bool {
+	if a.OK != b.OK {
+		return false
+	}
+	if !a.OK {
+		return true
+	}
+	if len(a.Sets) != len(b.Sets) {
+		return false
+	}
+	for u := range a.Sets {
+		if len(a.Sets[u]) != len(b.Sets[u]) {
+			return false
+		}
+		for i := range a.Sets[u] {
+			if a.Sets[u][i] != b.Sets[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestShardedMatchesUnsharded is the tentpole differential test: on every
+// generated topology, a sharded store (several k, with and without
+// indexes) must answer Reachable and Match identically to the unsharded
+// store for the same epoch, across a stream of mixed update batches that
+// exercises cross-shard inserts, deletes and boundary churn.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for name, g := range shardedTopologies(11) {
+		for _, k := range []int{1, 3, 4} {
+			indexes := k%2 == 1 // alternate: k=1,3 with, k=4 without
+			mono := Open(g.Clone(), nil)
+			sh := OpenSharded(g.Clone(), &ShardedOptions{Shards: k, Indexes: indexes})
+			mirror := g.Clone()
+
+			rng := rand.New(rand.NewSource(int64(k) * 31))
+			pt := pattern.New()
+			pa := pt.AddNode("L0")
+			pb := pt.AddNode("L1")
+			pt.AddEdge(pa, pb, 2)
+			pt2 := pattern.New()
+			pc := pt2.AddNode("L1")
+			pd := pt2.AddNode("L2")
+			pt2.AddEdge(pc, pd, pattern.Unbounded)
+
+			for round := 0; round < 4; round++ {
+				if round > 0 {
+					batch := gen.RandomBatch(rng, mirror, 35, 0.5)
+					mirror.Apply(batch)
+					if _, err := mono.ApplyBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := sh.ApplyBatch(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+				msn := mono.Snapshot()
+				ssn := sh.Snapshot()
+				if msn.Epoch != ssn.Epoch {
+					t.Fatalf("%s k=%d: epochs diverged %d vs %d", name, k, msn.Epoch, ssn.Epoch)
+				}
+				sc := queries.NewScratch(0)
+				rs := NewRouteScratch()
+				n := mirror.NumNodes()
+				for i := 0; i < 300; i++ {
+					u := graph.Node(rng.Intn(n))
+					v := graph.Node(rng.Intn(n))
+					want := msn.Reachable(sc, u, v)
+					if got := ssn.Reachable(rs, u, v); got != want {
+						t.Fatalf("%s k=%d round %d: sharded Reachable(%d,%d)=%v want %v",
+							name, k, round, u, v, got, want)
+					}
+					if got := ssn.ReachableOnG(rs, u, v); got != want {
+						t.Fatalf("%s k=%d round %d: sharded ReachableOnG(%d,%d)=%v want %v",
+							name, k, round, u, v, got, want)
+					}
+				}
+				for pi, q := range []*pattern.Pattern{pt, pt2} {
+					want := msn.Match(q)
+					got := ssn.Match(q)
+					if !sameResultSets(want, got) {
+						t.Fatalf("%s k=%d round %d: sharded Match #%d diverged (%v/%d vs %v/%d)",
+							name, k, round, pi, got.OK, got.Size(), want.OK, want.Size())
+					}
+				}
+			}
+
+			// Stats sanity: the composite edge count must equal the mirror's.
+			st := sh.Stats()
+			if st.Nodes != mirror.NumNodes() || st.Edges != mirror.NumEdges() {
+				t.Fatalf("%s k=%d: sharded stats |V|=%d |E|=%d want |V|=%d |E|=%d",
+					name, k, st.Nodes, st.Edges, mirror.NumNodes(), mirror.NumEdges())
+			}
+			if st.Shards != k {
+				t.Fatalf("%s: Shards=%d want %d", name, st.Shards, k)
+			}
+			mono.Close()
+			sh.Close()
+		}
+	}
+}
+
+// TestShardedCloseLifecycle mirrors the unsharded Close contract:
+// ApplyBatch after Close returns ErrClosed, double Close is safe, and
+// queries keep answering on the last published epoch.
+func TestShardedCloseLifecycle(t *testing.T) {
+	g := socialGraph(3, 80, 300)
+	mirror := g.Clone()
+	s := OpenSharded(g, &ShardedOptions{Shards: 3, Indexes: true})
+	batch := []graph.Update{graph.Insertion(0, 1), graph.Insertion(1, 2)}
+	mirror.Apply(batch)
+	if _, err := s.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	lastEpoch := s.Snapshot().Epoch
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.ApplyBatch([]graph.Update{graph.Insertion(2, 3)}); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	sn := s.Snapshot()
+	if sn.Epoch != lastEpoch {
+		t.Fatalf("post-Close epoch %d, want %d", sn.Epoch, lastEpoch)
+	}
+	// Queries must still answer, on both the store and a pinned snapshot.
+	rs := NewRouteScratch()
+	ref := queries.NewScratch(0)
+	refCSR := mirror.Freeze()
+	for u := graph.Node(0); u < 20; u++ {
+		for v := graph.Node(0); v < 20; v++ {
+			want := queries.ReachableBiCSR(refCSR, ref, u, v)
+			if got := s.Reachable(u, v); got != want {
+				t.Fatalf("post-Close Reachable(%d,%d)=%v want %v", u, v, got, want)
+			}
+			if got := sn.Reachable(rs, u, v); got != want {
+				t.Fatalf("post-Close snapshot Reachable(%d,%d)=%v want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedStressReadersVsWriter is the sharded counterpart of the store
+// stress test: reader goroutines race the coordinator and shard writers,
+// and every sharded answer is validated against the observed snapshot's
+// own composite baseline (ReachableOnG), which the differential test pins
+// to ground truth. Run under -race in CI.
+func TestShardedStressReadersVsWriter(t *testing.T) {
+	const (
+		epochs    = 16
+		readers   = 4
+		batchSize = 20
+	)
+	g := socialGraph(9, 200, 800)
+	rng := rand.New(rand.NewSource(10))
+	mirror := g.Clone()
+	batches := make([][]graph.Update, epochs)
+	for i := range batches {
+		batches[i] = gen.RandomBatch(rng, mirror, batchSize, 0.5)
+		mirror.Apply(batches[i])
+	}
+	n := g.NumNodes()
+	s := OpenSharded(g, &ShardedOptions{Shards: 4, Indexes: true})
+
+	var stop atomic.Bool
+	var mismatches atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			rs := NewRouteScratch()
+			for !stop.Load() {
+				sn := s.Snapshot()
+				for i := 0; i < 64; i++ {
+					u := graph.Node(rng.Intn(n))
+					v := graph.Node(rng.Intn(n))
+					if sn.Reachable(rs, u, v) != sn.ReachableOnG(rs, u, v) {
+						mismatches.Add(1)
+					}
+				}
+			}
+		}(r)
+	}
+	for i := range batches {
+		if _, err := s.ApplyBatch(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	s.Close()
+	if m := mismatches.Load(); m > 0 {
+		t.Fatalf("%d sharded answers diverged from the snapshot baseline", m)
+	}
+	if got := s.Snapshot().Epoch; got != epochs {
+		t.Fatalf("final epoch %d, want %d", got, epochs)
+	}
+}

@@ -119,10 +119,25 @@ func (sn *Snapshot) ReachableOnG(s *queries.Scratch, u, v graph.Node) bool {
 
 // ReachableHop2 answers QR(u,v) from the snapshot's 2-hop labels over
 // Gr-reach: no graph traversal at all. It panics if the store was opened
-// with Options.Indexes false.
+// with Options.Indexes false; callers that cannot guarantee indexes are on
+// should use ReachableHop2OK instead.
 func (sn *Snapshot) ReachableHop2(u, v graph.Node) bool {
+	if sn.Reach.Index == nil {
+		panic("store: ReachableHop2 on a snapshot without 2-hop indexes (Options.Indexes false); use ReachableHop2OK")
+	}
 	cu, cv := sn.Reach.Compressed.Rewrite(u, v)
 	return sn.Reach.Index.Reachable(cu, cv)
+}
+
+// ReachableHop2OK is the non-panicking form of ReachableHop2: it reports
+// ok = false (and an unspecified first result) when the snapshot carries no
+// 2-hop index, letting callers fall back to a traversal-based path.
+func (sn *Snapshot) ReachableHop2OK(u, v graph.Node) (reachable, ok bool) {
+	if sn.Reach.Index == nil {
+		return false, false
+	}
+	cu, cv := sn.Reach.Compressed.Rewrite(u, v)
+	return sn.Reach.Index.Reachable(cu, cv), true
 }
 
 // Match computes the maximum match of p on the compressed graph and expands
@@ -315,6 +330,21 @@ func (s *Store) Reachable(u, v graph.Node) bool {
 	s.reads.Add(1)
 	sc := s.getScratch()
 	ok := s.Snapshot().Reachable(sc, u, v)
+	s.scratch.Put(sc)
+	return ok
+}
+
+// ReachableHop2 answers QR(u,v) preferring the snapshot's 2-hop index and
+// falling back cleanly to the bidirectional BFS over Gr when the store was
+// opened with Options.Indexes false — it never panics.
+func (s *Store) ReachableHop2(u, v graph.Node) bool {
+	s.reads.Add(1)
+	sn := s.Snapshot()
+	if got, ok := sn.ReachableHop2OK(u, v); ok {
+		return got
+	}
+	sc := s.getScratch()
+	ok := sn.Reachable(sc, u, v)
 	s.scratch.Put(sc)
 	return ok
 }

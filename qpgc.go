@@ -19,7 +19,11 @@
 // updates (Section 5) without recompressing from scratch, and served
 // concurrently: a Store (Open) applies batches on a single writer while
 // readers query immutable per-epoch CSR snapshots of G and both compressed
-// graphs without ever blocking.
+// graphs without ever blocking. A ShardedStore (OpenSharded) scales the
+// write path to k partition-parallel pipelines — one writer per SCC-aware
+// shard behind a coordinator — and keeps answers exact via a boundary
+// summary graph (cross-shard reachability) and a stitched bisimulation
+// quotient (cross-shard pattern matching).
 //
 // # Quick start
 //
@@ -126,6 +130,30 @@ type (
 	ApplyResult = store.ApplyResult
 )
 
+// Sharded serving. A ShardedStore partitions G into k shards (SCC-aware)
+// with one writer per shard behind a coordinator; per-shard compression
+// pipelines are built and maintained in parallel, cross-shard reachability
+// routes through a frozen boundary summary graph, and pattern queries
+// evaluate on a stitched global bisimulation quotient — answers are exact,
+// identical to the unsharded Store (see internal/store and internal/part).
+type (
+	// ShardedStore is the partition-parallel concurrent store.
+	ShardedStore = store.ShardedStore
+	// ShardedSnapshot is one epoch's immutable sharded query state: a
+	// vector of per-shard snapshots plus the boundary summary and the
+	// stitched pattern quotient, published together atomically.
+	ShardedSnapshot = store.ShardedSnapshot
+	// ShardedOptions configures OpenSharded.
+	ShardedOptions = store.ShardedOptions
+	// ShardedStats is a point-in-time summary of a ShardedStore.
+	ShardedStats = store.ShardedStats
+	// ShardedApplyResult reports one ShardedStore.ApplyBatch call.
+	ShardedApplyResult = store.ShardedApplyResult
+	// RouteScratch is reusable traversal state for queries against a
+	// ShardedSnapshot.
+	RouteScratch = store.RouteScratch
+)
+
 // ErrStoreClosed is returned by Store.ApplyBatch after Close.
 var ErrStoreClosed = store.ErrClosed
 
@@ -133,6 +161,15 @@ var ErrStoreClosed = store.ErrClosed
 // both compressed forms while accepting batched edge updates. Pass nil opts
 // for the defaults. Close it when done.
 func Open(g *Graph, opts *StoreOptions) *Store { return store.Open(g, opts) }
+
+// OpenSharded takes ownership of g and returns a running ShardedStore with
+// opts.Shards partition-parallel write pipelines. Pass nil opts for the
+// defaults (4 shards, per-shard 2-hop indexes). Close it when done.
+func OpenSharded(g *Graph, opts *ShardedOptions) *ShardedStore { return store.OpenSharded(g, opts) }
+
+// NewRouteScratch returns empty routing scratch for ShardedSnapshot
+// queries; all state grows on demand.
+func NewRouteScratch() *RouteScratch { return store.NewRouteScratch() }
 
 // TwoHopIndex is a 2-hop reachability labeling; build it over G or over a
 // compressed Gr (the paper's Fig. 12(d) point: indexes compose with
