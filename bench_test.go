@@ -265,7 +265,7 @@ func storePairs(g *graph.Graph) [][2]graph.Node {
 func BenchmarkStoreReachableParallel(b *testing.B) {
 	g := socialGraph(4000, 24000)
 	pairs := storePairs(g)
-	s := store.Open(g, nil)
+	s, _ := store.Open(g, nil) // in-memory: cannot fail
 	defer s.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -284,7 +284,7 @@ func BenchmarkStoreReachableParallel(b *testing.B) {
 func BenchmarkStoreReachableOnGParallel(b *testing.B) {
 	g := socialGraph(4000, 24000)
 	pairs := storePairs(g)
-	s := store.Open(g, nil)
+	s, _ := store.Open(g, nil) // in-memory: cannot fail
 	defer s.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -306,7 +306,7 @@ func BenchmarkStoreReadsUnderWrites(b *testing.B) {
 	g := socialGraph(4000, 24000)
 	mirror := g.Clone()
 	pairs := storePairs(g)
-	s := store.Open(g, nil)
+	s, _ := store.Open(g, nil) // in-memory: cannot fail
 	defer s.Close()
 	stop := make(chan struct{})
 	writerIdle := make(chan struct{})
@@ -346,7 +346,7 @@ func BenchmarkStoreReadsUnderWrites(b *testing.B) {
 func BenchmarkStoreApplyBatch(b *testing.B) {
 	g := socialGraph(3000, 18000)
 	mirror := g.Clone()
-	s := store.Open(g, nil)
+	s, _ := store.Open(g, nil) // in-memory: cannot fail
 	defer s.Close()
 	rng := rand.New(rand.NewSource(9))
 	b.ReportAllocs()
@@ -373,7 +373,7 @@ func BenchmarkShardedOpen(b *testing.B) {
 		b.StopTimer()
 		g := socialGraph(4000, 24000)
 		b.StartTimer()
-		s := store.OpenSharded(g, &store.ShardedOptions{Shards: 4, Indexes: true})
+		s, _ := store.OpenSharded(g, &store.ShardedOptions{Shards: 4, Indexes: true}) // in-memory: cannot fail
 		b.StopTimer()
 		s.Close()
 		b.StartTimer()
@@ -385,7 +385,7 @@ func BenchmarkShardedOpen(b *testing.B) {
 func BenchmarkShardedReachableParallel(b *testing.B) {
 	g := socialGraph(4000, 24000)
 	pairs := storePairs(g)
-	s := store.OpenSharded(g, &store.ShardedOptions{Shards: 4, Indexes: true})
+	s, _ := store.OpenSharded(g, &store.ShardedOptions{Shards: 4, Indexes: true}) // in-memory: cannot fail
 	defer s.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -405,7 +405,7 @@ func BenchmarkShardedReachableParallel(b *testing.B) {
 func BenchmarkShardedApplyBatch(b *testing.B) {
 	g := socialGraph(3000, 18000)
 	mirror := g.Clone()
-	s := store.OpenSharded(g, &store.ShardedOptions{Shards: 4, Indexes: true})
+	s, _ := store.OpenSharded(g, &store.ShardedOptions{Shards: 4, Indexes: true}) // in-memory: cannot fail
 	defer s.Close()
 	rng := rand.New(rand.NewSource(9))
 	b.ReportAllocs()

@@ -8,7 +8,9 @@
 //	qpgc reach     -in g.txt -from 3 -to 17
 //	qpgc gen       -kind social|web|citation|p2p|er -v 1000 -e 5000 -l 4 -out g.txt [-seed n]
 //	qpgc workload  -in g.txt -ops 10000 -write 0.05 -out w.txt [-seed n]
-//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify]
+//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify] [-data dir] [-sync always|none]
+//	qpgc checkpoint -data dir
+//	qpgc recover    -data dir [-verify] [-pairs n]
 //
 // Graphs use the line-oriented text format of the library ("n id label",
 // "e src dst"). "reach" answers the query twice — by BFS over G and by BFS
@@ -20,6 +22,15 @@
 // partition-parallel write pipelines and routes cross-shard queries
 // through the boundary summary (answers stay exact; -verify checks them
 // against the composite uncompressed graph on the same snapshot).
+//
+// With -data the serve store is durable: accepted batches are write-ahead
+// logged before acknowledgement and the epoch state checkpoints in the
+// background, so a killed run restarts warm — serve with the same -data
+// recovers instead of rebuilding, "recover" inspects and verifies a
+// directory (including after a crash: torn WAL tails are healed), and
+// "checkpoint" folds the WAL tail into a fresh snapshot so the next start
+// is a pure load. An interrupted serve (SIGINT/SIGTERM) still prints its
+// throughput/latency report for the portion that ran.
 package main
 
 import (
@@ -53,13 +64,17 @@ func main() {
 		cmdWorkload(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "checkpoint":
+		cmdCheckpoint(os.Args[2:])
+	case "recover":
+		cmdRecover(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|checkpoint|recover> [flags]")
 	os.Exit(2)
 }
 

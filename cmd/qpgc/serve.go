@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/gen"
@@ -68,18 +71,25 @@ type serveBackend struct {
 // answer the query stream on immutable snapshots. With -shards k > 1 the
 // store is sharded: k partition-parallel write pipelines behind a
 // coordinator, queries routed local-lookup → summary-hop → local-lookup.
+// With -data the store is durable: batches are write-ahead logged before
+// acknowledgement, the epoch state checkpoints in the background, and a
+// directory left by a previous run is recovered instead of rebuilding from
+// -in. SIGINT/SIGTERM stop the run gracefully: the report for the
+// completed portion is still printed.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	in := fs.String("in", "", "input graph file")
 	workload := fs.String("workload", "", "workload file (qpgc workload)")
 	readers := fs.Int("readers", 4, "reader goroutines")
 	batch := fs.Int("batch", 64, "updates per ApplyBatch")
-	shards := fs.Int("shards", 1, "shard count (1 = monolithic store)")
+	shards := fs.Int("shards", 1, "shard count (1 = monolithic store; ignored when -data recovers)")
 	target := fs.String("target", "gr", "read path: gr (compressed), g (original), hop2 (index on Gr; monolithic only)")
 	verify := fs.Bool("verify", false, "cross-check every answer against the same snapshot's G")
+	data := fs.String("data", "", "durable directory (snapshot checkpoints + WAL); existing state is recovered")
+	syncFlag := fs.String("sync", "always", "WAL fsync policy with -data: always|none")
 	fs.Parse(args)
-	if *in == "" || *workload == "" {
-		fatal(fmt.Errorf("serve: -in and -workload are required"))
+	if *workload == "" {
+		fatal(fmt.Errorf("serve: -workload is required"))
 	}
 	if *readers < 1 {
 		fatal(fmt.Errorf("serve: -readers must be >= 1"))
@@ -87,7 +97,15 @@ func cmdServe(args []string) {
 	if *batch < 1 {
 		fatal(fmt.Errorf("serve: -batch must be >= 1"))
 	}
-	g := load(*in)
+	var syncMode store.SyncMode
+	switch *syncFlag {
+	case "always":
+		syncMode = store.SyncAlways
+	case "none":
+		syncMode = store.SyncNone
+	default:
+		fatal(fmt.Errorf("serve: unknown -sync %q (want always or none)", *syncFlag))
+	}
 	wf, err := os.Open(*workload)
 	if err != nil {
 		fatal(err)
@@ -97,16 +115,50 @@ func cmdServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	for _, op := range ops {
-		if op.U < 0 || op.V < 0 || int(op.U) >= g.NumNodes() || int(op.V) >= g.NumNodes() {
-			fatal(fmt.Errorf("workload references node outside graph (%d nodes)", g.NumNodes()))
+
+	// A durable directory with state takes precedence over -in: the store
+	// recovers its own graph (and, for a sharded directory, its own k), so
+	// -in is neither required nor parsed then — the whole point of the
+	// warm restart is skipping that cost.
+	recovering := *data != "" && store.HasState(*data)
+	sharded := *shards > 1
+	var g *graph.Graph
+	if recovering {
+		info, err := store.Inspect(*data)
+		if err != nil {
+			fatal(err)
+		}
+		sharded = info.Kind == "sharded"
+		fmt.Printf("recovering %s store from %s (checkpoint epoch %d, WAL %d bytes in %d segment(s))\n",
+			displayKind(info.Kind), *data, info.Epoch, info.WALBytes, info.WALSegments)
+	} else {
+		if *in == "" {
+			fatal(fmt.Errorf("serve: -in is required (no recoverable state in -data)"))
+		}
+		g = load(*in)
+	}
+
+	checkOps := func(n int) {
+		for _, op := range ops {
+			if op.U < 0 || op.V < 0 || int(op.U) >= n || int(op.V) >= n {
+				fatal(fmt.Errorf("workload references node outside graph (%d nodes)", n))
+			}
 		}
 	}
 
 	var backend serveBackend
-	if *shards > 1 {
-		s := store.OpenSharded(g, &store.ShardedOptions{Shards: *shards, Indexes: true})
+	shardCount := 1
+	if sharded {
+		s, err := store.OpenSharded(g, &store.ShardedOptions{
+			Shards: *shards, Indexes: true,
+			Dir: *data, Sync: syncMode,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		defer s.Close()
+		checkOps(s.Stats().Nodes)
+		shardCount = s.Stats().Shards
 		backend = serveBackend{
 			newReader: func(verify bool) func(u, v graph.Node) (got, mismatch bool) {
 				rs := store.NewRouteScratch()
@@ -148,8 +200,15 @@ func cmdServe(args []string) {
 			},
 		}
 	} else {
-		s := store.Open(g, nil)
+		s, err := store.Open(g, &store.Options{
+			Indexes: true,
+			Dir:     *data, Sync: syncMode,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		defer s.Close()
+		checkOps(s.Stats().Nodes)
 		backend = serveBackend{
 			newReader: func(verify bool) func(u, v graph.Node) (got, mismatch bool) {
 				sc := queries.NewScratch(0)
@@ -193,15 +252,20 @@ func cmdServe(args []string) {
 			},
 		}
 	}
-	runServe(backend, ops, *readers, *batch, *shards, *target, *verify)
+	runServe(backend, ops, *readers, *batch, shardCount, *target, *verify)
 }
 
 // runServe is the store-agnostic drive loop: it splits the workload stream
 // (updates keep their order and are grouped into batches on one writer;
 // queries fan out to the readers), measures per-query latency, and prints
 // the throughput/latency report before delegating the store-specific
-// summary to the backend.
+// summary to the backend. SIGINT/SIGTERM stop the feed; the report for
+// everything served so far is printed before returning, so an interrupted
+// run never loses its results.
 func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, target string, verify bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var updates []graph.Update
 	queryCh := make(chan gen.Op, 1024)
 	for _, op := range ops {
@@ -236,12 +300,13 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, targ
 		}(r)
 	}
 
-	// Writer: batches in stream order, concurrent with the readers.
+	// Writer: batches in stream order, concurrent with the readers; an
+	// interrupt stops it at the next batch boundary.
 	writerDone := make(chan struct{})
 	var epochs int
 	go func() {
 		defer close(writerDone)
-		for len(updates) > 0 {
+		for len(updates) > 0 && ctx.Err() == nil {
 			n := batchSize
 			if n > len(updates) {
 				n = len(updates)
@@ -253,11 +318,23 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, targ
 			epochs++
 		}
 	}()
-	nq := 0
+	totalQ := 0
 	for _, op := range ops {
 		if op.Kind == gen.OpQuery {
-			queryCh <- op
+			totalQ++
+		}
+	}
+	nq := 0
+feed:
+	for _, op := range ops {
+		if op.Kind != gen.OpQuery {
+			continue
+		}
+		select {
+		case queryCh <- op:
 			nq++
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(queryCh)
@@ -265,6 +342,9 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, targ
 	readElapsed := time.Since(start)
 	<-writerDone
 	elapsed := time.Since(start)
+	if ctx.Err() != nil {
+		fmt.Printf("interrupted: report covers the %d of %d queries fed before the signal\n", nq, totalQ)
+	}
 
 	var all []time.Duration
 	for _, l := range latencies {

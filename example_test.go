@@ -84,7 +84,7 @@ func ExampleOpen() {
 	c := g.AddNodeNamed("C")
 	g.AddEdge(a, b)
 
-	s := qpgc.Open(g, nil) // takes ownership of g
+	s, _ := qpgc.Open(g, nil) // takes ownership of g; in-memory open cannot fail
 	defer s.Close()
 
 	before := s.Snapshot() // pin epoch 0
@@ -120,7 +120,7 @@ func ExampleOpenSharded() {
 		g.AddEdge(nodes[i], nodes[i+1])
 	}
 
-	s := qpgc.OpenSharded(g, &qpgc.ShardedOptions{Shards: 3, Indexes: true})
+	s, _ := qpgc.OpenSharded(g, &qpgc.ShardedOptions{Shards: 3, Indexes: true})
 	defer s.Close()
 
 	fmt.Println("0->5:", s.Reachable(nodes[0], nodes[5]))

@@ -25,6 +25,18 @@ type Compressed struct {
 // ClassOf returns R(v), the Gr node representing v.
 func (c *Compressed) ClassOf(v graph.Node) graph.Node { return c.blockOf[v] }
 
+// ClassMap exposes the full node mapping R as a slice indexed by node of G.
+// Read-only; used by the snapshot codec.
+func (c *Compressed) ClassMap() []graph.Node { return c.blockOf }
+
+// AssembleCompressed packages an externally reconstructed quotient with its
+// node mapping into a Compressed value, taking ownership of all arguments.
+// Used by the snapshot decoder; the incremental maintainer goes through
+// Quotient/QuotientCSR instead.
+func AssembleCompressed(gr *graph.Graph, blockOf []graph.Node, members [][]graph.Node) *Compressed {
+	return &Compressed{Gr: gr, blockOf: blockOf, Members: members}
+}
+
 // NumClasses returns |Vr|.
 func (c *Compressed) NumClasses() int { return len(c.Members) }
 

@@ -1,0 +1,100 @@
+package graph
+
+import "fmt"
+
+// This file is the stable serialization surface of the graph substrate:
+// read-only views of a CSR's flat internals for encoders, and validated
+// bulk constructors for decoders. The on-disk layout itself lives in
+// internal/snapfile; graph only promises that the four flat arrays plus the
+// label table reproduce a snapshot exactly.
+
+// OutOffsets exposes the successor offset table (len |V|+1). Read-only.
+func (c *CSR) OutOffsets() []int32 { return c.outOff }
+
+// OutAdj exposes the flat successor array (len |E|). Read-only.
+func (c *CSR) OutAdj() []Node { return c.outAdj }
+
+// LabelIDs exposes the per-node label id array (len |V|). Read-only.
+func (c *CSR) LabelIDs() []Label { return c.label }
+
+// Names exposes the interned label names in id order. Read-only.
+func (l *Labels) Names() []string { return l.names }
+
+// LabelsFromNames reconstructs an interning table whose id assignment is
+// exactly the given name order, as produced by Names. Duplicate names are
+// rejected: they could never have come from an interning table and would
+// silently alias two label ids.
+func LabelsFromNames(names []string) (*Labels, error) {
+	l := NewLabels()
+	for i, name := range names {
+		if _, ok := l.ids[name]; ok {
+			return nil, fmt.Errorf("graph: duplicate label name %q at id %d", name, i)
+		}
+		l.Intern(name)
+	}
+	return l, nil
+}
+
+// CSRFromParts reconstructs a frozen CSR snapshot from its flat arrays, as
+// exposed by LabelIDs, OutOffsets, OutAdj, InOffsets and InAdj. The slices
+// are retained, not copied: a decoder can alias them straight into a file
+// buffer so that loading is O(validation), with no per-edge work beyond one
+// bounds-and-order scan.
+//
+// Validation covers every invariant the read paths rely on for memory
+// safety and search correctness: consistent lengths, monotone offset
+// tables covering the whole adjacency arrays, node ids in range, rows
+// strictly increasing, and label ids known to the table. It does not
+// cross-check that the in-adjacency is the exact transpose of the
+// out-adjacency (an O(|E| log) pass); callers that need integrity against
+// arbitrary corruption get it from the snapshot file's checksum.
+func CSRFromParts(labels *Labels, label []Label, outOff []int32, outAdj []Node, inOff []int32, inAdj []Node) (*CSR, error) {
+	if labels == nil {
+		return nil, fmt.Errorf("graph: CSRFromParts: nil label table")
+	}
+	n := len(label)
+	if len(outOff) != n+1 || len(inOff) != n+1 {
+		return nil, fmt.Errorf("graph: CSRFromParts: offset tables have %d/%d entries, want %d", len(outOff), len(inOff), n+1)
+	}
+	if len(outAdj) != len(inAdj) {
+		return nil, fmt.Errorf("graph: CSRFromParts: %d out-edges vs %d in-edges", len(outAdj), len(inAdj))
+	}
+	nl := Label(labels.Count())
+	for v, lb := range label {
+		if lb < 0 || lb >= nl {
+			return nil, fmt.Errorf("graph: CSRFromParts: node %d has unknown label id %d", v, lb)
+		}
+	}
+	if err := checkAdjacency("out", n, outOff, outAdj); err != nil {
+		return nil, err
+	}
+	if err := checkAdjacency("in", n, inOff, inAdj); err != nil {
+		return nil, err
+	}
+	return &CSR{labels: labels, label: label, outOff: outOff, outAdj: outAdj, inOff: inOff, inAdj: inAdj}, nil
+}
+
+// checkAdjacency validates one offset table + flat adjacency pair: offsets
+// monotone from 0 to len(adj), every row sorted strictly increasing, every
+// referenced node id in [0, n).
+func checkAdjacency(side string, n int, off []int32, adj []Node) error {
+	if off[0] != 0 || int(off[n]) != len(adj) {
+		return fmt.Errorf("graph: CSRFromParts: %s offsets span [%d,%d], want [0,%d]", side, off[0], off[n], len(adj))
+	}
+	for v := 0; v < n; v++ {
+		if off[v+1] < off[v] {
+			return fmt.Errorf("graph: CSRFromParts: %s offsets decrease at node %d", side, v)
+		}
+		prev := Node(-1)
+		for _, w := range adj[off[v]:off[v+1]] {
+			if w <= prev {
+				return fmt.Errorf("graph: CSRFromParts: %s row of node %d not sorted/unique", side, v)
+			}
+			if int(w) < 0 || int(w) >= n {
+				return fmt.Errorf("graph: CSRFromParts: %s row of node %d references invalid node %d", side, v, w)
+			}
+			prev = w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// restartDatasets are the topologies the restart experiment covers — the
+// shard sweep's four, so the cold-rebuild baseline spans social, p2p,
+// citation and labeled-social structure.
+var restartDatasets = []string{"socEpinions", "P2P", "citHepTh", "Youtube"}
+
+// restartPre/restartTail split the write stream around the checkpoint:
+// pre-batches are folded into the snapshot, tail batches live only in the
+// WAL and must be replayed on recovery.
+const (
+	restartPre   = 6
+	restartTail  = 4
+	restartBatch = 32
+)
+
+// ExpRestart measures what durability buys at process start, per dataset:
+// cold rebuild (Open on the raw graph: full compression of both schemes),
+// warm snapshot load (Open on a checkpointed directory with an empty WAL
+// tail: one file read, no compression — the paper's maintained auxiliary
+// structures surviving the restart), and snapshot+WAL replay (a directory
+// whose last batches were never checkpointed: load plus incremental
+// maintenance of just the tail). The recovered-after-crash store is
+// differentially checked against an uninterrupted store on sampled
+// reachability pairs; the diff column must read ok.
+func ExpRestart(cfg Config) *Table {
+	t := &Table{
+		ID:    "restart",
+		Title: "Durable store restart: cold rebuild vs snapshot load vs snapshot+WAL replay",
+		Header: []string{"dataset", "cold build", "snap load", "speedup",
+			"load+replay", "tail", "diff"},
+		Notes: []string{
+			"cold build = store.Open on the raw graph (compressR + compressB + indexes)",
+			fmt.Sprintf("snap load = Open(nil) on a checkpointed dir, empty WAL tail; load+replay = same with %d uncheckpointed batches", restartTail),
+			"diff = recovered store's sampled answers vs an uninterrupted store's (must be ok)",
+		},
+	}
+	for _, name := range restartDatasets {
+		d, ok := gen.DatasetByName(name)
+		if !ok {
+			continue
+		}
+		d = d.Scale(cfg.Scale)
+
+		// The uninterrupted reference: cold build (timed), then the full
+		// batch stream.
+		wrng := rand.New(rand.NewSource(cfg.Seed + 17))
+		mirror := d.Build(cfg.Seed)
+		var batches [][]graph.Update
+		for i := 0; i < restartPre+restartTail; i++ {
+			b := gen.RandomBatch(wrng, mirror, restartBatch, 0.5)
+			mirror.Apply(b)
+			batches = append(batches, b)
+		}
+		gc := d.Build(cfg.Seed)
+		var ref *store.Store
+		cold := timeIt(func() { ref, _ = store.Open(gc, nil) })
+		for _, b := range batches {
+			if _, err := ref.ApplyBatch(b); err != nil {
+				panic(err)
+			}
+		}
+
+		// Directory A: everything checkpointed — the pure-load restart.
+		dirA := restartDir(batches, d, cfg, len(batches))
+		var loaded *store.Store
+		load := bestOf(3, func() {
+			var err error
+			loaded, err = store.Open(nil, &store.Options{Dir: dirA})
+			if err != nil {
+				panic(err)
+			}
+			loaded.Close()
+		})
+
+		// Directory B: the tail batches after the checkpoint are only in
+		// the WAL — the crash-recovery restart.
+		dirB := restartDir(batches, d, cfg, restartPre)
+		var replayed *store.Store
+		replay := timeIt(func() {
+			var err error
+			replayed, err = store.Open(nil, &store.Options{Dir: dirB})
+			if err != nil {
+				panic(err)
+			}
+		})
+
+		diff := "ok"
+		qrng := rand.New(rand.NewSource(cfg.Seed + 18))
+		n := mirror.NumNodes()
+		for i := 0; i < cfg.Pairs; i++ {
+			u := graph.Node(qrng.Intn(n))
+			v := graph.Node(qrng.Intn(n))
+			if replayed.Reachable(u, v) != ref.Reachable(u, v) {
+				diff = "FAIL"
+				break
+			}
+		}
+		replayed.Close()
+		ref.Close()
+		os.RemoveAll(dirA)
+		os.RemoveAll(dirB)
+
+		t.Rows = append(t.Rows, []string{
+			name,
+			ms(cold),
+			ms(load),
+			fmt.Sprintf("%.1fx", cold.Seconds()/load.Seconds()),
+			ms(replay),
+			fmt.Sprintf("%d", restartTail),
+			diff,
+		})
+	}
+	return t
+}
+
+// restartDir builds a durable directory holding the dataset's store with
+// the first ckptAfter batches checkpointed and the rest (if any) only in
+// the WAL tail, then closes it — the disk image a restart sees.
+func restartDir(batches [][]graph.Update, d gen.Dataset, cfg Config, ckptAfter int) string {
+	dir, err := os.MkdirTemp("", "qpgc-restart-*")
+	if err != nil {
+		panic(err)
+	}
+	s, err := store.Open(d.Build(cfg.Seed), &store.Options{
+		Indexes: true, Dir: dir,
+		CheckpointBatches: -1, CheckpointBytes: -1, // explicit checkpoints only
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i, b := range batches {
+		if _, err := s.ApplyBatch(b); err != nil {
+			panic(err)
+		}
+		if i+1 == ckptAfter {
+			if err := s.Checkpoint(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	s.Close()
+	return dir
+}

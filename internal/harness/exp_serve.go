@@ -68,7 +68,7 @@ func ExpServe(cfg Config) *Table {
 		rng := rand.New(rand.NewSource(cfg.Seed + 5))
 		pairs := gen.RandomNodePairs(rng, mirror, cfg.Pairs)
 
-		s := store.Open(g, nil)
+		s, _ := store.Open(g, nil) // in-memory: cannot fail
 
 		// Writer: mixed batches back to back until the read phase finishes.
 		stop := make(chan struct{})

@@ -68,7 +68,7 @@ func ExpShard(cfg Config) *Table {
 
 		gm := d.Build(cfg.Seed)
 		var mono *store.Store
-		monoBuild := timeIt(func() { mono = store.Open(gm, nil) })
+		monoBuild := timeIt(func() { mono, _ = store.Open(gm, nil) })
 		monoUps := shardWriteRate(cfg, d, writeBatches, func(b []graph.Update) error {
 			_, err := mono.ApplyBatch(b)
 			return err
@@ -79,7 +79,7 @@ func ExpShard(cfg Config) *Table {
 			gs := d.Build(cfg.Seed)
 			var sh *store.ShardedStore
 			shardBuild := timeIt(func() {
-				sh = store.OpenSharded(gs, &store.ShardedOptions{Shards: k, Indexes: true})
+				sh, _ = store.OpenSharded(gs, &store.ShardedOptions{Shards: k, Indexes: true})
 			})
 			st := sh.Stats()
 			shardUps := shardWriteRate(cfg, d, writeBatches, func(b []graph.Update) error {

@@ -1,0 +1,18 @@
+package incbisim
+
+import "repro/internal/graph"
+
+// Replay is the crash-recovery entry point: it reconstructs a maintainer
+// from a recovered graph state and applies a write-ahead-log tail of update
+// batches in log order. Maintenance is deterministic given (g, tail) — the
+// maintained partition is pinned by the property tests to equal batch
+// recompression of the final graph — so replaying the tail of an
+// interrupted run yields a state query-equivalent to the uninterrupted
+// run's. It takes ownership of g.
+func Replay(g *graph.Graph, tail [][]graph.Update) *Maintainer {
+	m := New(g)
+	for _, batch := range tail {
+		m.Apply(batch)
+	}
+	return m
+}

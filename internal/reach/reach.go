@@ -35,6 +35,10 @@ type Compressed struct {
 // ClassOf returns R(v), the class node of Gr representing v.
 func (c *Compressed) ClassOf(v graph.Node) graph.Node { return c.classOf[v] }
 
+// ClassMap exposes the full node mapping R as a slice indexed by node of G.
+// Read-only; used by the snapshot codec.
+func (c *Compressed) ClassMap() []graph.Node { return c.classOf }
+
 // Rewrite implements the query rewriting function F: it maps the
 // reachability query QR(u,v) on G to QR(R(u),R(v)) on Gr in O(1).
 func (c *Compressed) Rewrite(u, v graph.Node) (graph.Node, graph.Node) {

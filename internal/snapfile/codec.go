@@ -1,0 +1,536 @@
+package snapfile
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/hop2"
+	"repro/internal/part"
+)
+
+// Block tag bases. Tags are redundancy against encoder/decoder order
+// drift: every block records its tag, and the reader rejects a mismatch
+// before touching the body.
+const (
+	tagLabels   = 0x0e0 // shared label table
+	tagG        = 0x100
+	tagReachC   = 0x120
+	tagReachGr  = 0x140
+	tagReachIdx = 0x160
+	tagPatC     = 0x180
+	tagPatGr    = 0x1a0
+	tagPatIdx   = 0x1c0
+	tagMeta     = 0x200 // sharded: K, ShardOf, NodeLabel, CrossOut
+	tagSummary  = 0x300
+	tagStitched = 0x320
+	tagShard0   = 0x1000 // shard s uses tagShard0 + s*tagShardStride
+	tagShardStr = 0x100
+)
+
+// StoreParts is the complete decoded state of one monolithic Store
+// snapshot: the frozen CSR of G, both compressed artifacts (quotient CSR,
+// node mapping, member index), and the optional 2-hop indexes. Slices
+// alias the load buffer; everything is immutable after decode.
+type StoreParts struct {
+	// Epoch is the snapshot's batch epoch.
+	Epoch uint64
+	// Labels is the reconstructed shared label table of G.
+	Labels *graph.Labels
+	// G is the frozen original graph.
+	G *graph.CSR
+	// ReachGr is the frozen reachability quotient R(G).
+	ReachGr *graph.CSR
+	// ReachClassOf maps every node of G to its reach class.
+	ReachClassOf []graph.Node
+	// ReachMembers lists each reach class's member nodes.
+	ReachMembers [][]graph.Node
+	// ReachCyclic flags classes containing a cyclic SCC.
+	ReachCyclic []bool
+	// ReachIndex is the 2-hop index over ReachGr, nil when the snapshot
+	// was taken without indexes.
+	ReachIndex *hop2.Index
+	// PatternGr is the frozen bisimulation quotient.
+	PatternGr *graph.CSR
+	// PatternBlockOf maps every node of G to its bisimulation block.
+	PatternBlockOf []graph.Node
+	// PatternMembers lists each block's member nodes.
+	PatternMembers [][]graph.Node
+	// PatternIndex is the 2-hop index over PatternGr, nil when absent.
+	PatternIndex *hop2.Index
+}
+
+// EncodeStore serializes a monolithic snapshot to its file image.
+func EncodeStore(p *StoreParts) []byte {
+	return encodeStore(p).encode()
+}
+
+// WriteStore atomically persists a monolithic snapshot to path.
+func WriteStore(path string, p *StoreParts) error {
+	return encodeStore(p).writeFile(path)
+}
+
+func encodeStore(p *StoreParts) *writer {
+	w := newWriter(KindStore, p.Epoch)
+	shared := p.G.Labels()
+	w.strings(tagLabels, shared.Names())
+	putCSR(w, tagG, p.G, shared)
+	putCompressed(w, tagReachC, p.ReachClassOf, p.ReachMembers, p.ReachCyclic)
+	putCSR(w, tagReachGr, p.ReachGr, shared)
+	putIndex(w, tagReachIdx, p.ReachIndex)
+	putCompressed(w, tagPatC, p.PatternBlockOf, p.PatternMembers, nil)
+	putCSR(w, tagPatGr, p.PatternGr, shared)
+	putIndex(w, tagPatIdx, p.PatternIndex)
+	return w
+}
+
+// DecodeStore decodes and validates a monolithic snapshot image. Returned
+// slices alias data; the caller keeps the buffer alive as long as the
+// snapshot serves.
+func DecodeStore(data []byte) (*StoreParts, error) {
+	r, err := open(data)
+	if err != nil {
+		return nil, err
+	}
+	if r.kind != KindStore {
+		return nil, fmt.Errorf("%w: kind %v, want %v", ErrFormat, r.kind, KindStore)
+	}
+	p := &StoreParts{Epoch: r.epoch}
+	names, err := r.strings(tagLabels)
+	if err != nil {
+		return nil, err
+	}
+	if p.Labels, err = graph.LabelsFromNames(names); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if p.G, err = readCSR(r, tagG, p.Labels); err != nil {
+		return nil, err
+	}
+	n := p.G.NumNodes()
+	if p.ReachClassOf, p.ReachMembers, p.ReachCyclic, err = readCompressed(r, tagReachC, true); err != nil {
+		return nil, err
+	}
+	if p.ReachGr, err = readCSR(r, tagReachGr, p.Labels); err != nil {
+		return nil, err
+	}
+	if err = validateCompressed("reach", n, p.ReachGr.NumNodes(), p.ReachClassOf, p.ReachMembers, p.ReachCyclic); err != nil {
+		return nil, err
+	}
+	if p.ReachIndex, err = readIndex(r, tagReachIdx, p.ReachGr.NumNodes()); err != nil {
+		return nil, err
+	}
+	if p.PatternBlockOf, p.PatternMembers, _, err = readCompressed(r, tagPatC, false); err != nil {
+		return nil, err
+	}
+	if p.PatternGr, err = readCSR(r, tagPatGr, p.Labels); err != nil {
+		return nil, err
+	}
+	if err = validateCompressed("pattern", n, p.PatternGr.NumNodes(), p.PatternBlockOf, p.PatternMembers, nil); err != nil {
+		return nil, err
+	}
+	if p.PatternIndex, err = readIndex(r, tagPatIdx, p.PatternGr.NumNodes()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadStore reads and decodes a monolithic snapshot file.
+func LoadStore(path string) (*StoreParts, error) {
+	data, err := readFileAligned(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeStore(data)
+}
+
+// ShardParts is one shard's slice of a sharded snapshot.
+type ShardParts struct {
+	// G is the shard's frozen local subgraph (local node ids).
+	G *graph.CSR
+	// ReachGr is the shard's frozen local reachability quotient.
+	ReachGr *graph.CSR
+	// ReachClassOf maps local nodes to local reach classes.
+	ReachClassOf []graph.Node
+	// ReachMembers lists each local class's member local nodes.
+	ReachMembers [][]graph.Node
+	// ReachCyclic flags cyclic local classes.
+	ReachCyclic []bool
+	// ReachIndex is the 2-hop index over ReachGr, nil when absent.
+	ReachIndex *hop2.Index
+}
+
+// ShardedParts is the complete decoded state of one ShardedStore snapshot:
+// the static partition, the evolving cross-shard adjacency, the per-shard
+// epoch vector, and the epoch's boundary summary and stitched quotient.
+type ShardedParts struct {
+	// Epoch is the snapshot's batch epoch.
+	Epoch uint64
+	// K is the shard count.
+	K int
+	// Labels is the reconstructed shared label table.
+	Labels *graph.Labels
+	// ShardOf maps every global node to its shard.
+	ShardOf []int32
+	// NodeLabel is the static label of every global node.
+	NodeLabel []graph.Label
+	// CrossOut holds the sorted cross-shard successors per global node.
+	CrossOut [][]graph.Node
+	// Shards is the per-shard state vector (len K).
+	Shards []ShardParts
+	// Summary is the epoch's frozen boundary summary.
+	Summary *part.Summary
+	// Stitched is the epoch's cross-shard pattern quotient.
+	Stitched *part.Stitched
+}
+
+// WriteSharded atomically persists a sharded snapshot to path.
+func WriteSharded(path string, p *ShardedParts) error {
+	w := encodeSharded(p)
+	return w.writeFile(path)
+}
+
+// EncodeSharded serializes a sharded snapshot to its file image.
+func EncodeSharded(p *ShardedParts) []byte {
+	return encodeSharded(p).encode()
+}
+
+func encodeSharded(p *ShardedParts) *writer {
+	w := newWriter(KindSharded, p.Epoch)
+	shared := p.Labels
+	w.strings(tagLabels, shared.Names())
+	w.u64(tagMeta, uint64(p.K))
+	w.int32s(tagMeta+1, p.ShardOf)
+	w.int32s(tagMeta+2, p.NodeLabel)
+	w.rows(tagMeta+3, p.CrossOut)
+	for s, sp := range p.Shards {
+		base := uint32(tagShard0 + s*tagShardStr)
+		putCSR(w, base, sp.G, shared)
+		putCompressed(w, base+0x20, sp.ReachClassOf, sp.ReachMembers, sp.ReachCyclic)
+		putCSR(w, base+0x40, sp.ReachGr, shared)
+		putIndex(w, base+0x60, sp.ReachIndex)
+	}
+	putCSR(w, tagSummary, p.Summary.S, shared)
+	putCSR(w, tagStitched, p.Stitched.Q, shared)
+	w.int32s(tagStitched+0x10, p.Stitched.BlockOf)
+	w.rows(tagStitched+0x11, p.Stitched.Members)
+	w.int32s(tagStitched+0x12, p.Stitched.ShardOfBlock)
+	return w
+}
+
+// DecodeSharded decodes and validates a sharded snapshot image.
+func DecodeSharded(data []byte) (*ShardedParts, error) {
+	r, err := open(data)
+	if err != nil {
+		return nil, err
+	}
+	if r.kind != KindSharded {
+		return nil, fmt.Errorf("%w: kind %v, want %v", ErrFormat, r.kind, KindSharded)
+	}
+	p := &ShardedParts{Epoch: r.epoch}
+	names, err := r.strings(tagLabels)
+	if err != nil {
+		return nil, err
+	}
+	if p.Labels, err = graph.LabelsFromNames(names); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	k64, err := r.u64(tagMeta)
+	if err != nil {
+		return nil, err
+	}
+	if k64 < 1 || k64 > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible shard count %d", ErrFormat, k64)
+	}
+	p.K = int(k64)
+	if p.ShardOf, err = r.int32s(tagMeta + 1); err != nil {
+		return nil, err
+	}
+	if p.NodeLabel, err = r.int32s(tagMeta + 2); err != nil {
+		return nil, err
+	}
+	if p.CrossOut, err = r.rows(tagMeta + 3); err != nil {
+		return nil, err
+	}
+	n := len(p.ShardOf)
+	if len(p.NodeLabel) != n || len(p.CrossOut) != n {
+		return nil, fmt.Errorf("%w: %d nodes but %d labels, %d cross rows", ErrFormat, n, len(p.NodeLabel), len(p.CrossOut))
+	}
+	nl := graph.Label(p.Labels.Count())
+	localCount := make([]int, p.K)
+	for v := 0; v < n; v++ {
+		s := p.ShardOf[v]
+		if s < 0 || int(s) >= p.K {
+			return nil, fmt.Errorf("%w: node %d in unknown shard %d", ErrFormat, v, s)
+		}
+		localCount[s]++
+		if lb := p.NodeLabel[v]; lb < 0 || lb >= nl {
+			return nil, fmt.Errorf("%w: node %d has unknown label id %d", ErrFormat, v, lb)
+		}
+		prev := graph.Node(-1)
+		for _, wv := range p.CrossOut[v] {
+			if wv <= prev {
+				return nil, fmt.Errorf("%w: cross row of node %d not sorted/unique", ErrFormat, v)
+			}
+			if int(wv) < 0 || int(wv) >= n {
+				return nil, fmt.Errorf("%w: cross row of node %d references invalid node %d", ErrFormat, v, wv)
+			}
+			if p.ShardOf[wv] == p.ShardOf[v] {
+				return nil, fmt.Errorf("%w: cross edge (%d,%d) does not cross shards", ErrFormat, v, wv)
+			}
+			prev = wv
+		}
+	}
+	p.Shards = make([]ShardParts, p.K)
+	sumClasses := 0
+	for s := 0; s < p.K; s++ {
+		sp := &p.Shards[s]
+		base := uint32(tagShard0 + s*tagShardStr)
+		if sp.G, err = readCSR(r, base, p.Labels); err != nil {
+			return nil, err
+		}
+		if sp.G.NumNodes() != localCount[s] {
+			return nil, fmt.Errorf("%w: shard %d subgraph has %d nodes, partition assigns %d", ErrFormat, s, sp.G.NumNodes(), localCount[s])
+		}
+		if sp.ReachClassOf, sp.ReachMembers, sp.ReachCyclic, err = readCompressed(r, base+0x20, true); err != nil {
+			return nil, err
+		}
+		if sp.ReachGr, err = readCSR(r, base+0x40, p.Labels); err != nil {
+			return nil, err
+		}
+		if err = validateCompressed(fmt.Sprintf("shard %d reach", s), localCount[s], sp.ReachGr.NumNodes(), sp.ReachClassOf, sp.ReachMembers, sp.ReachCyclic); err != nil {
+			return nil, err
+		}
+		if sp.ReachIndex, err = readIndex(r, base+0x60, sp.ReachGr.NumNodes()); err != nil {
+			return nil, err
+		}
+		sumClasses += sp.ReachGr.NumNodes()
+	}
+
+	// The boundary list is derived, not stored: it is a pure function of
+	// the cross adjacency, and deriving it removes a whole family of
+	// inconsistent-file states.
+	crossInDeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		for _, wv := range p.CrossOut[v] {
+			crossInDeg[wv]++
+		}
+	}
+	boundary := part.BoundaryNodes(p.CrossOut, crossInDeg)
+	sumS, err := readCSR(r, tagSummary, p.Labels)
+	if err != nil {
+		return nil, err
+	}
+	if sumS.NumNodes() != len(boundary)+sumClasses {
+		return nil, fmt.Errorf("%w: summary has %d nodes, want %d boundary + %d classes", ErrFormat, sumS.NumNodes(), len(boundary), sumClasses)
+	}
+	p.Summary = &part.Summary{Boundary: boundary, S: sumS}
+
+	st := &part.Stitched{}
+	if st.Q, err = readCSR(r, tagStitched, p.Labels); err != nil {
+		return nil, err
+	}
+	if st.BlockOf, err = r.int32s(tagStitched + 0x10); err != nil {
+		return nil, err
+	}
+	if st.Members, err = r.rows(tagStitched + 0x11); err != nil {
+		return nil, err
+	}
+	if st.ShardOfBlock, err = r.int32s(tagStitched + 0x12); err != nil {
+		return nil, err
+	}
+	nb := st.Q.NumNodes()
+	if len(st.Members) != nb || len(st.ShardOfBlock) != nb {
+		return nil, fmt.Errorf("%w: stitched quotient has %d nodes but %d member lists, %d shard entries", ErrFormat, nb, len(st.Members), len(st.ShardOfBlock))
+	}
+	if err = validateCompressed("stitched", n, nb, st.BlockOf, st.Members, nil); err != nil {
+		return nil, err
+	}
+	for b, s := range st.ShardOfBlock {
+		if s < 0 || int(s) >= p.K {
+			return nil, fmt.Errorf("%w: stitched block %d in unknown shard %d", ErrFormat, b, s)
+		}
+		for _, v := range st.Members[b] {
+			if p.ShardOf[v] != s {
+				return nil, fmt.Errorf("%w: stitched block %d claims shard %d but member %d lives in shard %d", ErrFormat, b, s, v, p.ShardOf[v])
+			}
+		}
+	}
+	p.Stitched = st
+	return p, nil
+}
+
+// LoadSharded reads and decodes a sharded snapshot file.
+func LoadSharded(path string) (*ShardedParts, error) {
+	data, err := readFileAligned(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSharded(data)
+}
+
+// putCSR writes one CSR. When the CSR's label table is not the file's
+// shared table it is embedded privately (e.g. the σ table of a
+// reachability quotient).
+func putCSR(w *writer, base uint32, c *graph.CSR, shared *graph.Labels) {
+	private := c.Labels() != shared
+	var flags uint64
+	if private {
+		flags |= 1
+	}
+	w.u64(base, flags)
+	if private {
+		w.strings(base+1, c.Labels().Names())
+	}
+	w.int32s(base+2, c.LabelIDs())
+	w.int32s(base+3, c.OutOffsets())
+	w.int32s(base+4, c.OutAdj())
+	w.int32s(base+5, c.InOffsets())
+	w.int32s(base+6, c.InAdj())
+}
+
+// readCSR reads one CSR written by putCSR, fully validated.
+func readCSR(r *reader, base uint32, shared *graph.Labels) (*graph.CSR, error) {
+	flags, err := r.u64(base)
+	if err != nil {
+		return nil, err
+	}
+	labels := shared
+	if flags&1 != 0 {
+		names, err := r.strings(base + 1)
+		if err != nil {
+			return nil, err
+		}
+		if labels, err = graph.LabelsFromNames(names); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+	}
+	label, err := r.int32s(base + 2)
+	if err != nil {
+		return nil, err
+	}
+	outOff, err := r.int32s(base + 3)
+	if err != nil {
+		return nil, err
+	}
+	outAdj, err := r.int32s(base + 4)
+	if err != nil {
+		return nil, err
+	}
+	inOff, err := r.int32s(base + 5)
+	if err != nil {
+		return nil, err
+	}
+	inAdj, err := r.int32s(base + 6)
+	if err != nil {
+		return nil, err
+	}
+	c, err := graph.CSRFromParts(labels, label, outOff, outAdj, inOff, inAdj)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return c, nil
+}
+
+// putCompressed writes a compression's node mapping, member index and
+// (for reachability) cyclic flags.
+func putCompressed(w *writer, base uint32, classOf []graph.Node, members [][]graph.Node, cyclic []bool) {
+	w.int32s(base, classOf)
+	w.rows(base+1, members)
+	w.bools(base+2, cyclic)
+}
+
+// readCompressed reads the blocks written by putCompressed; range
+// validation happens in validateCompressed once the quotient CSR is known.
+func readCompressed(r *reader, base uint32, wantCyclic bool) (classOf []graph.Node, members [][]graph.Node, cyclic []bool, err error) {
+	if classOf, err = r.int32s(base); err != nil {
+		return nil, nil, nil, err
+	}
+	if members, err = r.rows(base + 1); err != nil {
+		return nil, nil, nil, err
+	}
+	if cyclic, err = r.bools(base + 2); err != nil {
+		return nil, nil, nil, err
+	}
+	if !wantCyclic {
+		cyclic = nil
+	}
+	return classOf, members, cyclic, nil
+}
+
+// validateCompressed checks a node mapping + member index against the node
+// count of G and the class count of the quotient: exactly the invariants
+// Rewrite, Expand and the routing layers rely on to stay in bounds.
+func validateCompressed(what string, n, numClasses int, classOf []graph.Node, members [][]graph.Node, cyclic []bool) error {
+	if len(classOf) != n {
+		return fmt.Errorf("%w: %s maps %d of %d nodes", ErrFormat, what, len(classOf), n)
+	}
+	if len(members) != numClasses {
+		return fmt.Errorf("%w: %s has %d member lists for %d classes", ErrFormat, what, len(members), numClasses)
+	}
+	if cyclic != nil && len(cyclic) != numClasses {
+		return fmt.Errorf("%w: %s has %d cyclic flags for %d classes", ErrFormat, what, len(cyclic), numClasses)
+	}
+	for v, c := range classOf {
+		if int(c) < 0 || int(c) >= numClasses {
+			return fmt.Errorf("%w: %s maps node %d to unknown class %d", ErrFormat, what, v, c)
+		}
+	}
+	for c := range members {
+		for _, v := range members[c] {
+			if int(v) < 0 || int(v) >= n {
+				return fmt.Errorf("%w: %s class %d contains invalid node %d", ErrFormat, what, c, v)
+			}
+		}
+	}
+	return nil
+}
+
+// putIndex writes an optional 2-hop index: a presence flag, then the four
+// label structures.
+func putIndex(w *writer, base uint32, idx *hop2.Index) {
+	if idx == nil {
+		w.u64(base, 0)
+		return
+	}
+	w.u64(base, 1)
+	comp, cyclic, lout, lin := idx.Parts()
+	w.int32s(base+1, comp)
+	w.bools(base+2, cyclic)
+	w.rows(base+3, lout)
+	w.rows(base+4, lin)
+}
+
+// readIndex reads an optional 2-hop index and validates it against the
+// node count of the graph it serves.
+func readIndex(r *reader, base uint32, wantNodes int) (*hop2.Index, error) {
+	present, err := r.u64(base)
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	comp, err := r.int32s(base + 1)
+	if err != nil {
+		return nil, err
+	}
+	cyclic, err := r.bools(base + 2)
+	if err != nil {
+		return nil, err
+	}
+	lout, err := r.rows(base + 3)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := r.rows(base + 4)
+	if err != nil {
+		return nil, err
+	}
+	if len(comp) != wantNodes {
+		return nil, fmt.Errorf("%w: 2-hop index covers %d of %d nodes", ErrFormat, len(comp), wantNodes)
+	}
+	idx, err := hop2.FromParts(comp, cyclic, lout, lin)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return idx, nil
+}

@@ -1,0 +1,473 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/snapfile"
+	"repro/internal/wal"
+)
+
+// This file holds the durability machinery shared by Store and
+// ShardedStore: the manifest that names the current checkpoint, the
+// checkpoint writer (atomic snapshot file + manifest swap + WAL
+// truncation), the WAL group-commit glue, and the batch payload codec.
+
+const manifestName = "MANIFEST"
+
+// durable is the persistence half of a store: one directory holding
+// snapshot checkpoints, the MANIFEST pointing at the newest one, and the
+// write-ahead log segments.
+type durable struct {
+	dir  string
+	kind snapfile.Kind
+
+	syncMode    SyncMode
+	ckptBatches uint64 // 0 disables the batch trigger
+	ckptBytes   int64  // 0 disables the byte trigger
+
+	log *wal.Log // nil until openLog
+
+	// manifestEpoch/manifestSnapshot are the recovery inputs read at open;
+	// they are not updated by later checkpoints.
+	manifestEpoch    uint64
+	manifestSnapshot string
+
+	mu        sync.Mutex    // serializes checkpoints and the manifest swap
+	lastCkpt  atomic.Uint64 // epoch of the newest on-disk checkpoint
+	ckptEver  atomic.Bool   // false until the directory has any checkpoint
+	busy      atomic.Bool   // a background checkpoint is in flight
+	wg        sync.WaitGroup
+	failure   atomic.Value // error: first WAL failure; write path is dead
+	ckptError atomic.Value // error: last background checkpoint failure
+	encBuf    []byte       // writer-goroutine-only batch encode scratch
+	closed    atomic.Bool
+}
+
+// initDurable prepares the directory and reads the manifest if present,
+// verifying it matches the store kind being opened.
+func initDurable(o Options, kind snapfile.Kind) (*durable, error) {
+	return newDurable(o.Dir, o.Sync, o.CheckpointBatches, o.CheckpointBytes, kind)
+}
+
+func newDurable(dir string, sync SyncMode, ckptBatches int, ckptBytes int64, kind snapfile.Kind) (*durable, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	d := &durable{dir: dir, kind: kind, syncMode: sync}
+	switch {
+	case ckptBatches == 0:
+		d.ckptBatches = 256
+	case ckptBatches > 0:
+		d.ckptBatches = uint64(ckptBatches)
+	}
+	switch {
+	case ckptBytes == 0:
+		d.ckptBytes = 8 << 20
+	case ckptBytes > 0:
+		d.ckptBytes = ckptBytes
+	}
+	if HasState(dir) {
+		m, err := readManifest(dir)
+		if err != nil {
+			return nil, err
+		}
+		if m.kind != kind {
+			return nil, fmt.Errorf("store: %s holds a %v store; open it with the matching entry point", dir, m.kind)
+		}
+		d.manifestEpoch = m.epoch
+		d.manifestSnapshot = m.snapshot
+		d.lastCkpt.Store(m.epoch)
+		d.ckptEver.Store(true)
+	}
+	return d, nil
+}
+
+// snapshotPath is the absolute path of the manifest's checkpoint.
+func (d *durable) snapshotPath() string { return filepath.Join(d.dir, d.manifestSnapshot) }
+
+// openLog opens the WAL, creating it at nextSeq when empty.
+func (d *durable) openLog(nextSeq uint64) error {
+	l, err := wal.Open(d.dir, nextSeq, &wal.Options{Sync: d.syncMode})
+	if err != nil {
+		return err
+	}
+	d.log = l
+	return nil
+}
+
+// failedErr returns the sticky WAL failure, if any.
+func (d *durable) failedErr() error {
+	if err, ok := d.failure.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// fail records the first WAL failure; every later write attempt returns it.
+func (d *durable) fail(err error) {
+	d.failure.CompareAndSwap(nil, fmt.Errorf("store: write-ahead log failed, write path disabled: %w", err))
+}
+
+// noteErr records a background checkpoint failure for CheckpointErr.
+func (d *durable) noteErr(err error) {
+	if err != nil {
+		d.ckptError.Store(err)
+	}
+}
+
+// appendGroup logs one coalesced batch group and commits it under the
+// configured fsync policy. Nothing in the group may be applied or
+// acknowledged unless this succeeds; on failure the group's partial tail
+// is rolled back so batches whose callers saw an error cannot resurface
+// on restart (acked ⇒ durable, and errored ⇒ absent). Writer goroutine
+// only.
+func (d *durable) appendGroup(epochs []uint64, batch func(i int) []graph.Update) error {
+	if err := d.failedErr(); err != nil {
+		return err
+	}
+	mark := d.log.TailMark()
+	groupErr := func() error {
+		for i, e := range epochs {
+			d.encBuf = encodeBatch(d.encBuf[:0], batch(i))
+			if err := d.log.Append(e, d.encBuf); err != nil {
+				return err
+			}
+		}
+		return d.log.Commit()
+	}()
+	if groupErr == nil {
+		return nil
+	}
+	d.fail(groupErr)
+	// Best-effort: a rollback failure on an already-failing disk leaves
+	// the torn group for recovery's CRC scan to drop or — if it was fully
+	// framed — resurrect; the sticky failure above still disables this
+	// process's write path either way.
+	if err := d.log.Rollback(mark); err != nil {
+		d.noteErr(err)
+	}
+	return d.failedErr()
+}
+
+// maybeCheckpoint starts write on a background goroutine when the batch
+// or byte threshold is crossed at epoch and no checkpoint is in flight.
+// The caller captures the snapshot to persist inside write, keeping the
+// concurrency choreography (single-flight CAS, close-time wait, error
+// recording) in one place for both store kinds.
+func (d *durable) maybeCheckpoint(epoch uint64, write func() error) {
+	if !d.shouldCheckpoint(epoch) {
+		return
+	}
+	if !d.busy.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer d.busy.Store(false)
+		d.noteErr(write())
+	}()
+}
+
+// shouldCheckpoint reports whether the batch or byte threshold is crossed
+// at the given epoch.
+func (d *durable) shouldCheckpoint(epoch uint64) bool {
+	last := d.lastCkpt.Load()
+	if d.ckptBatches > 0 && epoch >= last && epoch-last >= d.ckptBatches {
+		return true
+	}
+	if d.ckptBytes > 0 && d.log != nil && d.log.SizeBytes() >= d.ckptBytes {
+		return true
+	}
+	return false
+}
+
+// checkpoint makes epoch the directory's newest checkpoint: write writes
+// the snapshot image to the path it is given, then the manifest is swapped
+// and the WAL prefix the checkpoint covers is truncated, along with older
+// snapshot files. Concurrent and repeated calls are safe; a checkpoint at
+// or below the newest one is a no-op.
+func (d *durable) checkpoint(epoch uint64, write func(path string) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ckptEver.Load() && epoch <= d.lastCkpt.Load() {
+		return nil
+	}
+	name := fmt.Sprintf("snap-%016x.qps", epoch)
+	if err := write(filepath.Join(d.dir, name)); err != nil {
+		return err
+	}
+	// The snapshot's directory entry must be durable before the manifest
+	// names it.
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	if err := writeManifest(d.dir, manifest{kind: d.kind, epoch: epoch, snapshot: name}); err != nil {
+		return err
+	}
+	d.lastCkpt.Store(epoch)
+	d.ckptEver.Store(true)
+	if d.log != nil {
+		if err := d.log.TruncateBefore(epoch); err != nil {
+			return err
+		}
+	}
+	return d.removeOldSnapshots(epoch)
+}
+
+// removeOldSnapshots deletes snapshot files below the newest checkpoint.
+func (d *durable) removeOldSnapshots(newest uint64) error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".qps") {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".qps")
+		epoch, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // not ours; leave it alone
+		}
+		if epoch < newest {
+			if err := os.Remove(filepath.Join(d.dir, name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// replayTail decodes every WAL record after fromEpoch into batches,
+// validating node ids against the snapshot's node count.
+func (d *durable) replayTail(fromEpoch uint64, numNodes int) (tail [][]graph.Update, updates uint64, err error) {
+	err = d.log.Replay(fromEpoch+1, func(seq uint64, payload []byte) error {
+		b, derr := decodeBatch(payload, numNodes)
+		if derr != nil {
+			return fmt.Errorf("store: WAL record %d: %w", seq, derr)
+		}
+		tail = append(tail, b)
+		updates += uint64(len(b))
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return tail, updates, nil
+}
+
+// close waits for in-flight checkpoints and closes the WAL. Idempotent.
+func (d *durable) close() {
+	if !d.closed.CompareAndSwap(false, true) {
+		return
+	}
+	d.wg.Wait()
+	if d.log != nil {
+		d.log.Close()
+	}
+}
+
+// manifest is the recovery pointer: which snapshot file is current.
+type manifest struct {
+	kind     snapfile.Kind
+	epoch    uint64
+	snapshot string
+}
+
+// writeManifest atomically replaces the manifest: temp file, fsync,
+// rename, directory fsync.
+func writeManifest(dir string, m manifest) error {
+	body := fmt.Sprintf("qpgc-durable v1\nkind %v\nepoch %d\nsnapshot %s\n", m.kind, m.epoch, m.snapshot)
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest parses the manifest of dir.
+func readManifest(dir string) (manifest, error) {
+	f, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, err
+	}
+	defer f.Close()
+	var m manifest
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch {
+		case line == 1:
+			if len(fields) != 2 || fields[0] != "qpgc-durable" || fields[1] != "v1" {
+				return manifest{}, fmt.Errorf("store: %s/%s: unsupported manifest header %q", dir, manifestName, sc.Text())
+			}
+		case fields[0] == "kind" && len(fields) == 2:
+			switch fields[1] {
+			case "store":
+				m.kind = snapfile.KindStore
+			case "sharded":
+				m.kind = snapfile.KindSharded
+			default:
+				return manifest{}, fmt.Errorf("store: manifest names unknown kind %q", fields[1])
+			}
+		case fields[0] == "epoch" && len(fields) == 2:
+			if m.epoch, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+				return manifest{}, fmt.Errorf("store: manifest epoch: %w", err)
+			}
+		case fields[0] == "snapshot" && len(fields) == 2:
+			if strings.ContainsAny(fields[1], "/\\") {
+				return manifest{}, fmt.Errorf("store: manifest snapshot %q escapes the directory", fields[1])
+			}
+			m.snapshot = fields[1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return manifest{}, err
+	}
+	if m.kind == 0 || m.snapshot == "" {
+		return manifest{}, fmt.Errorf("store: %s/%s is incomplete", dir, manifestName)
+	}
+	return m, nil
+}
+
+// HasState reports whether dir holds recoverable durable state (a
+// manifest written by a previous durable store).
+func HasState(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// DirInfo summarizes a durable directory without opening a store.
+type DirInfo struct {
+	// Kind is "store" or "sharded".
+	Kind string
+	// Epoch is the newest checkpoint's batch epoch.
+	Epoch uint64
+	// Snapshot is the checkpoint filename; SnapshotBytes its size.
+	Snapshot      string
+	SnapshotBytes int64
+	// WALBytes and WALSegments size the log tail on disk.
+	WALBytes    int64
+	WALSegments int
+}
+
+// Inspect reads a durable directory's manifest and sizes its files, for
+// the CLI's recover/checkpoint subcommands.
+func Inspect(dir string) (DirInfo, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return DirInfo{}, err
+	}
+	info := DirInfo{Kind: m.kind.String(), Epoch: m.epoch, Snapshot: m.snapshot}
+	if st, err := os.Stat(filepath.Join(dir, m.snapshot)); err == nil {
+		info.SnapshotBytes = st.Size()
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return DirInfo{}, err
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			info.WALSegments++
+			if fi, err := e.Info(); err == nil {
+				info.WALBytes += fi.Size()
+			}
+		}
+	}
+	return info, nil
+}
+
+// encodeBatch appends the WAL payload encoding of one batch to buf: a u32
+// update count, then 9 bytes per update (from, to, insert flag).
+func encodeBatch(buf []byte, batch []graph.Update) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
+	for _, u := range batch {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(u.From))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(u.To))
+		if u.Insert {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// decodeBatch parses a WAL batch payload, validating the declared count
+// against the payload size, node ids against numNodes, and the insert
+// flag's domain — corrupt or foreign payloads error, never panic.
+func decodeBatch(payload []byte, numNodes int) ([]graph.Update, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("batch payload of %d bytes", len(payload))
+	}
+	count := int(binary.LittleEndian.Uint32(payload))
+	if count < 0 || len(payload) != 4+9*count {
+		return nil, fmt.Errorf("batch claims %d updates in %d bytes", count, len(payload))
+	}
+	batch := make([]graph.Update, count)
+	for i := 0; i < count; i++ {
+		rec := payload[4+9*i:]
+		from := int32(binary.LittleEndian.Uint32(rec[0:4]))
+		to := int32(binary.LittleEndian.Uint32(rec[4:8]))
+		if int(from) < 0 || int(from) >= numNodes || int(to) < 0 || int(to) >= numNodes {
+			return nil, fmt.Errorf("update %d references node outside [0,%d)", i, numNodes)
+		}
+		switch rec[8] {
+		case 0:
+			batch[i] = graph.Deletion(from, to)
+		case 1:
+			batch[i] = graph.Insertion(from, to)
+		default:
+			return nil, fmt.Errorf("update %d has insert flag %d", i, rec[8])
+		}
+	}
+	return batch, nil
+}
+
+// syncDir fsyncs a directory so entry renames survive a crash.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -14,7 +14,7 @@ import (
 func TestReachableHop2Fallback(t *testing.T) {
 	g := socialGraph(21, 120, 500)
 	mirror := g.Clone()
-	s := Open(g, &Options{Indexes: false})
+	s := mustOpen(t, g, &Options{Indexes: false})
 	defer s.Close()
 
 	sn := s.Snapshot()
@@ -40,7 +40,7 @@ func TestReachableHop2Fallback(t *testing.T) {
 	}()
 
 	// With indexes on, all three agree.
-	s2 := Open(mirror.Clone(), nil)
+	s2 := mustOpen(t, mirror.Clone(), nil)
 	defer s2.Close()
 	sn2 := s2.Snapshot()
 	for u := graph.Node(0); u < 30; u++ {
@@ -63,7 +63,7 @@ func TestReachableHop2Fallback(t *testing.T) {
 func TestStoreCloseServesLastEpoch(t *testing.T) {
 	g := socialGraph(22, 100, 400)
 	mirror := g.Clone()
-	s := Open(g, nil)
+	s := mustOpen(t, g, nil)
 	batch := []graph.Update{
 		graph.Insertion(0, 1), graph.Insertion(1, 2), graph.Deletion(0, 1),
 	}

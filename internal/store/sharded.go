@@ -32,6 +32,8 @@
 package store
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,20 +47,35 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/queries"
 	"repro/internal/reach"
+	"repro/internal/snapfile"
 )
 
 // ShardedOptions configures a ShardedStore.
 type ShardedOptions struct {
 	// Shards is the partition count k (clamped to >= 1; 1 degenerates to a
-	// single local pipeline with an empty summary).
+	// single local pipeline with an empty summary). When recovering from a
+	// durable directory the snapshot's own shard count wins — the
+	// partition is static for the life of the store.
 	Shards int
 	// Indexes controls per-shard 2-hop indexes over the local reachability
-	// quotients, used as the same-shard fast path.
+	// quotients, used as the same-shard fast path. On recovery the loaded
+	// snapshot's index presence wins.
 	Indexes bool
+	// Dir enables durability, as in Options.Dir: checkpoints of the full
+	// epoch vector (per-shard views, boundary summary, stitched quotient)
+	// plus a write-ahead log of the global update stream.
+	Dir string
+	// Sync is the WAL fsync policy (durable stores only).
+	Sync SyncMode
+	// CheckpointBatches and CheckpointBytes are the background checkpoint
+	// thresholds, as in Options.
+	CheckpointBatches int
+	// CheckpointBytes is the WAL size trigger, as in Options.
+	CheckpointBytes int64
 }
 
 // DefaultShardedOptions returns the standard configuration: 4 shards,
-// per-shard 2-hop indexes on.
+// per-shard 2-hop indexes on, in-memory.
 func DefaultShardedOptions() ShardedOptions { return ShardedOptions{Shards: 4, Indexes: true} }
 
 // ShardView is one shard's slice of a ShardedSnapshot: the frozen local
@@ -322,9 +339,14 @@ type ShardedStats struct {
 	ReachClasses, StitchClasses int
 }
 
+type shardedApplyOutcome struct {
+	res ShardedApplyResult
+	err error
+}
+
 type shardedApplyReq struct {
 	batch []graph.Update
-	res   chan ShardedApplyResult
+	res   chan shardedApplyOutcome
 }
 
 // shardCmd asks a shard writer to apply a local sub-batch (possibly empty)
@@ -387,6 +409,11 @@ type ShardedStore struct {
 	p      *part.Partition
 	labels *graph.Labels
 
+	dur *durable // nil for in-memory stores
+
+	// workers is nil in a store recovered from a snapshot until the first
+	// write forces ensureWorkers (the lazy warm-restart path). Only the
+	// coordinator goroutine (or OpenSharded, before it starts) touches it.
 	workers []*shardWorker
 
 	// Coordinator-owned evolving cross-shard state. Rows of crossOut are
@@ -416,11 +443,19 @@ type ShardedStore struct {
 	reads   atomic.Uint64
 }
 
-// OpenSharded takes ownership of g (it must not be used afterwards),
-// partitions it into opts.Shards shards, builds every shard's compression
-// pipeline concurrently, publishes the epoch-0 snapshot, and starts the
-// coordinator. Close releases it.
-func OpenSharded(g *graph.Graph, opts *ShardedOptions) *ShardedStore {
+// OpenSharded returns a running ShardedStore with opts.Shards
+// partition-parallel write pipelines; Close releases it.
+//
+// With no ShardedOptions.Dir it takes ownership of g (which must not be
+// used afterwards), partitions it, builds every shard's compression
+// pipeline concurrently, publishes the epoch-0 snapshot and starts the
+// coordinator; it never fails. With a Dir naming a fresh directory it
+// additionally writes the epoch-0 checkpoint and opens the write-ahead
+// log. With a Dir holding previous state, g must be nil: the store
+// recovers the whole epoch vector from the checkpoint, replays the WAL
+// tail through the per-shard maintainers, and serves reads without
+// recompressing anything.
+func OpenSharded(g *graph.Graph, opts *ShardedOptions) (*ShardedStore, error) {
 	o := DefaultShardedOptions()
 	if opts != nil {
 		o = *opts
@@ -428,6 +463,42 @@ func OpenSharded(g *graph.Graph, opts *ShardedOptions) *ShardedStore {
 	if o.Shards < 1 {
 		o.Shards = 1
 	}
+	if o.Dir == "" {
+		if g == nil {
+			return nil, errors.New("store: OpenSharded needs a graph when no Dir is set")
+		}
+		return openShardedMem(g, o), nil
+	}
+	if HasState(o.Dir) {
+		if g != nil {
+			return nil, fmt.Errorf("%w (%s)", ErrStateExists, o.Dir)
+		}
+		return recoverSharded(o)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("store: %s holds no recoverable state and no graph was given", o.Dir)
+	}
+	s := openShardedMem(g, o)
+	d, err := newDurable(o.Dir, o.Sync, o.CheckpointBatches, o.CheckpointBytes, snapfile.KindSharded)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.dur = d
+	if err := s.writeCheckpoint(s.Snapshot()); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := d.openLog(1); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openShardedMem builds the in-memory sharded store with eager per-shard
+// pipelines and starts the coordinator.
+func openShardedMem(g *graph.Graph, o ShardedOptions) *ShardedStore {
 	c := g.Freeze()
 	p := part.Split(c, o.Shards)
 	s := &ShardedStore{
@@ -523,9 +594,54 @@ func (s *ShardedStore) applyCross(u, v graph.Node, insert bool) bool {
 	return true
 }
 
+// ensureWorkers materializes the per-shard writers of a store recovered
+// from a snapshot: local graphs are thawed from the loaded shard views and
+// the incremental maintainers rebuilt, paying on the first write the
+// compression cost the warm restart skipped. Coordinator goroutine only.
+func (s *ShardedStore) ensureWorkers() {
+	if s.workers != nil {
+		return
+	}
+	sn := s.snap.Load()
+	s.workers = make([]*shardWorker, s.opts.Shards)
+	for i := range s.workers {
+		w := &shardWorker{
+			local: sn.Shards[i].G.Thaw(),
+			reqs:  make(chan *shardCmd),
+			done:  make(chan struct{}),
+		}
+		s.workers[i] = w
+		go w.run()
+	}
+	for i := range s.views {
+		s.views[i] = nil // force every writer to materialize its view
+	}
+	s.roundTrip(make([][]graph.Update, s.opts.Shards))
+}
+
+// routeBatch splits one global batch into per-shard local sub-batches and
+// coordinator-applied cross-shard updates, counting both into res.
+func (s *ShardedStore) routeBatch(batch []graph.Update, batches [][]graph.Update, res *ShardedApplyResult) {
+	for _, up := range batch {
+		su, sv := s.p.ShardOf[up.From], s.p.ShardOf[up.To]
+		if su == sv {
+			batches[su] = append(batches[su], graph.Update{
+				From:   s.p.LocalID[up.From],
+				To:     s.p.LocalID[up.To],
+				Insert: up.Insert,
+			})
+			res.LocalUpdates++
+		} else {
+			s.applyCross(up.From, up.To, up.Insert)
+			res.CrossUpdates++
+		}
+	}
+	s.updates.Add(uint64(len(batch)))
+}
+
 // run is the coordinator goroutine: it serializes batches, coalesces under
-// pressure, routes updates to the shard writers, and publishes one
-// snapshot per group.
+// pressure, logs the group to the WAL before any state changes, routes
+// updates to the shard writers, and publishes one snapshot per group.
 func (s *ShardedStore) run() {
 	defer func() {
 		for _, w := range s.workers {
@@ -550,33 +666,212 @@ func (s *ShardedStore) run() {
 				break drain
 			}
 		}
+		epochs := make([]uint64, len(pending))
+		for i := range pending {
+			epochs[i] = s.batches.Add(1)
+		}
+		if s.dur != nil {
+			if err := s.dur.appendGroup(epochs, func(i int) []graph.Update { return pending[i].batch }); err != nil {
+				for _, p := range pending {
+					p.res <- shardedApplyOutcome{err: err}
+				}
+				continue
+			}
+		}
+		s.ensureWorkers()
 		k := s.opts.Shards
 		batches := make([][]graph.Update, k)
-		results := make([]ShardedApplyResult, len(pending))
+		results := make([]shardedApplyOutcome, len(pending))
 		for i, p := range pending {
-			results[i].Epoch = s.batches.Add(1)
-			for _, up := range p.batch {
-				su, sv := s.p.ShardOf[up.From], s.p.ShardOf[up.To]
-				if su == sv {
-					batches[su] = append(batches[su], graph.Update{
-						From:   s.p.LocalID[up.From],
-						To:     s.p.LocalID[up.To],
-						Insert: up.Insert,
-					})
-					results[i].LocalUpdates++
-				} else {
-					s.applyCross(up.From, up.To, up.Insert)
-					results[i].CrossUpdates++
-				}
-			}
-			s.updates.Add(uint64(len(p.batch)))
+			results[i].res.Epoch = epochs[i]
+			s.routeBatch(p.batch, batches, &results[i].res)
 		}
 		s.roundTrip(batches)
-		s.publish(results[len(results)-1].Epoch)
+		s.publish(epochs[len(epochs)-1])
 		for i, p := range pending {
 			p.res <- results[i]
 		}
+		s.maybeCheckpoint()
 	}
+}
+
+// maybeCheckpoint hands the current snapshot to the durable layer's
+// background checkpoint trigger. Coordinator goroutine only.
+func (s *ShardedStore) maybeCheckpoint() {
+	if s.dur == nil {
+		return
+	}
+	sn := s.snap.Load()
+	s.dur.maybeCheckpoint(sn.Epoch, func() error { return s.writeCheckpoint(sn) })
+}
+
+// Checkpoint synchronously writes the current epoch vector to the durable
+// directory and truncates the WAL prefix it covers, as Store.Checkpoint.
+func (s *ShardedStore) Checkpoint() error {
+	if s.dur == nil {
+		return ErrNotDurable
+	}
+	return s.writeCheckpoint(s.Snapshot())
+}
+
+// writeCheckpoint persists sn as the directory's newest checkpoint.
+func (s *ShardedStore) writeCheckpoint(sn *ShardedSnapshot) error {
+	return s.dur.checkpoint(sn.Epoch, func(path string) error {
+		return snapfile.WriteSharded(path, shardedParts(s, sn))
+	})
+}
+
+// shardedParts projects a published sharded snapshot onto the codec's
+// flat form. Everything referenced is immutable, so this is safe off the
+// coordinator goroutine.
+func shardedParts(s *ShardedStore, sn *ShardedSnapshot) *snapfile.ShardedParts {
+	p := &snapfile.ShardedParts{
+		Epoch:     sn.Epoch,
+		K:         sn.p.K,
+		Labels:    s.labels,
+		ShardOf:   sn.p.ShardOf,
+		NodeLabel: sn.p.Label,
+		CrossOut:  sn.crossOut,
+		Shards:    make([]snapfile.ShardParts, sn.p.K),
+		Summary:   sn.Summary,
+		Stitched:  sn.Stitched,
+	}
+	for i := range sn.Shards {
+		sv := &sn.Shards[i]
+		p.Shards[i] = snapfile.ShardParts{
+			G:            sv.G,
+			ReachGr:      sv.Reach.Gr,
+			ReachClassOf: sv.Reach.Compressed.ClassMap(),
+			ReachMembers: sv.Reach.Compressed.Members,
+			ReachCyclic:  sv.Reach.Compressed.CyclicClass,
+			ReachIndex:   sv.Reach.Index,
+		}
+	}
+	return p
+}
+
+// recoverSharded reopens a durable sharded directory: rebuild the static
+// partition and the full epoch vector from the checkpoint by slicing, then
+// replay the WAL tail through freshly materialized shard pipelines.
+func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
+	d, err := newDurable(o.Dir, o.Sync, o.CheckpointBatches, o.CheckpointBytes, snapfile.KindSharded)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := snapfile.LoadSharded(d.snapshotPath())
+	if err != nil {
+		return nil, err
+	}
+	if parts.Epoch != d.manifestEpoch {
+		return nil, fmt.Errorf("store: snapshot %s is epoch %d, manifest says %d", d.manifestSnapshot, parts.Epoch, d.manifestEpoch)
+	}
+	k := parts.K
+	o.Shards = k
+	o.Indexes = parts.Shards[0].ReachIndex != nil
+
+	// The static partition: ShardOf and the label array are stored; the
+	// dense local ids and per-shard node lists are re-derived exactly as
+	// Split assigned them (ascending global id within each shard).
+	n := len(parts.ShardOf)
+	p := &part.Partition{
+		K:          k,
+		ShardOf:    parts.ShardOf,
+		LocalID:    make([]int32, n),
+		Nodes:      make([][]graph.Node, k),
+		Label:      parts.NodeLabel,
+		CrossOut:   parts.CrossOut,
+		CrossInDeg: make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		sh := p.ShardOf[v]
+		p.LocalID[v] = int32(len(p.Nodes[sh]))
+		p.Nodes[sh] = append(p.Nodes[sh], graph.Node(v))
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range p.CrossOut[v] {
+			p.CrossInDeg[w]++
+			p.CrossEdges++
+		}
+	}
+
+	s := &ShardedStore{
+		opts:       o,
+		p:          p,
+		labels:     parts.Labels,
+		dur:        d,
+		crossOut:   p.CrossOut,
+		crossInDeg: p.CrossInDeg,
+		crossEdges: p.CrossEdges,
+		boundary:   parts.Summary.Boundary,
+		byClass:    make([][][]graph.Node, k),
+		hopIdx:     make([]*hop2.Index, k),
+		views:      make([]*shardEpochView, k),
+		reqs:       make(chan shardedApplyReq),
+		idle:       make(chan struct{}),
+	}
+	s.scratch.New = func() any { return NewRouteScratch() }
+	s.shardBoundary = make([][]graph.Node, k)
+	for _, v := range s.boundary {
+		sh := p.ShardOf[v]
+		s.shardBoundary[sh] = append(s.shardBoundary[sh], v)
+	}
+
+	// Reassemble the epoch vector: per-shard views with re-derived
+	// class→summary-id maps, exactly as publish builds them.
+	shards := make([]ShardView, k)
+	for i := 0; i < k; i++ {
+		sp := &parts.Shards[i]
+		rc := reach.AssembleCompressed(sp.ReachGr.Thaw(), sp.ReachClassOf, sp.ReachMembers, sp.ReachCyclic)
+		by := make([][]graph.Node, rc.NumClasses())
+		for _, g := range s.shardBoundary[i] {
+			cls := rc.ClassOf(p.LocalID[g])
+			by[cls] = append(by[cls], parts.Summary.SumID(g))
+		}
+		s.byClass[i] = by
+		if o.Indexes {
+			s.hopIdx[i] = sp.ReachIndex
+		}
+		shards[i] = ShardView{
+			G:       sp.G,
+			Reach:   ReachView{Gr: sp.ReachGr, Compressed: rc, Index: sp.ReachIndex},
+			byClass: by,
+		}
+	}
+	sn := &ShardedSnapshot{
+		Epoch:    parts.Epoch,
+		Shards:   shards,
+		Summary:  parts.Summary,
+		Stitched: parts.Stitched,
+		p:        p,
+		crossOut: append([][]graph.Node(nil), s.crossOut...),
+	}
+	s.snap.Store(sn)
+	s.batches.Store(sn.Epoch)
+
+	if err := d.openLog(parts.Epoch + 1); err != nil {
+		return nil, err
+	}
+	tail, _, err := d.replayTail(parts.Epoch, n) // routeBatch recounts updates
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	if len(tail) > 0 {
+		// Replay the tail as one coalesced group: routing order per shard
+		// and cross-adjacency application order match the original run's.
+		s.ensureWorkers()
+		batches := make([][]graph.Update, k)
+		var res ShardedApplyResult
+		for _, batch := range tail {
+			s.routeBatch(batch, batches, &res)
+		}
+		s.roundTrip(batches)
+		epoch := sn.Epoch + uint64(len(tail))
+		s.batches.Store(epoch)
+		s.publish(epoch)
+	}
+	go s.run()
+	return s, nil
 }
 
 // publish assembles and swaps in the epoch's snapshot from the latest
@@ -663,9 +958,10 @@ func (s *ShardedStore) publish(epoch uint64) {
 
 // ApplyBatch submits one batch ΔG and blocks until the snapshot containing
 // it is published. Semantics match Store.ApplyBatch: arrival order,
-// batch-atomic visibility, ErrClosed after Close.
+// batch-atomic visibility, WAL durability before acknowledgement on a
+// durable store, ErrClosed after Close.
 func (s *ShardedStore) ApplyBatch(batch []graph.Update) (ShardedApplyResult, error) {
-	req := shardedApplyReq{batch: batch, res: make(chan ShardedApplyResult, 1)}
+	req := shardedApplyReq{batch: batch, res: make(chan shardedApplyOutcome, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -673,12 +969,15 @@ func (s *ShardedStore) ApplyBatch(batch []graph.Update) (ShardedApplyResult, err
 	}
 	s.reqs <- req
 	s.mu.RUnlock()
-	return <-req.res, nil
+	out := <-req.res
+	return out.res, out.err
 }
 
 // Close stops the coordinator and every shard writer after the queue
-// drains. Queries remain answerable on the final snapshot; further
-// ApplyBatch calls fail with ErrClosed. Close is idempotent.
+// drains, waits for any in-flight background checkpoint, and closes the
+// WAL. Queries remain answerable on the final snapshot; further ApplyBatch
+// calls fail with ErrClosed. Close is idempotent and, like Store.Close,
+// does not checkpoint — call Checkpoint first for a pure-load restart.
 func (s *ShardedStore) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -687,6 +986,9 @@ func (s *ShardedStore) Close() {
 	}
 	s.mu.Unlock()
 	<-s.idle
+	if s.dur != nil {
+		s.dur.close()
+	}
 }
 
 // Snapshot returns the current epoch's immutable query state. Use it to

@@ -58,8 +58,8 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 	for name, g := range shardedTopologies(11) {
 		for _, k := range []int{1, 3, 4} {
 			indexes := k%2 == 1 // alternate: k=1,3 with, k=4 without
-			mono := Open(g.Clone(), nil)
-			sh := OpenSharded(g.Clone(), &ShardedOptions{Shards: k, Indexes: indexes})
+			mono := mustOpen(t, g.Clone(), nil)
+			sh := mustOpenSharded(t, g.Clone(), &ShardedOptions{Shards: k, Indexes: indexes})
 			mirror := g.Clone()
 
 			rng := rand.New(rand.NewSource(int64(k) * 31))
@@ -135,7 +135,7 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 func TestShardedCloseLifecycle(t *testing.T) {
 	g := socialGraph(3, 80, 300)
 	mirror := g.Clone()
-	s := OpenSharded(g, &ShardedOptions{Shards: 3, Indexes: true})
+	s := mustOpenSharded(t, g, &ShardedOptions{Shards: 3, Indexes: true})
 	batch := []graph.Update{graph.Insertion(0, 1), graph.Insertion(1, 2)}
 	mirror.Apply(batch)
 	if _, err := s.ApplyBatch(batch); err != nil {
@@ -188,7 +188,7 @@ func TestShardedStressReadersVsWriter(t *testing.T) {
 		mirror.Apply(batches[i])
 	}
 	n := g.NumNodes()
-	s := OpenSharded(g, &ShardedOptions{Shards: 4, Indexes: true})
+	s := mustOpenSharded(t, g, &ShardedOptions{Shards: 4, Indexes: true})
 
 	var stop atomic.Bool
 	var mismatches atomic.Int64

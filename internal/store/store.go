@@ -28,10 +28,25 @@
 //
 // Readers pull queries.Scratch traversal state from a sync.Pool, so the
 // warm read path performs zero heap allocations for point reachability.
+//
+// # Durability (snapshot checkpoints + write-ahead log)
+//
+// With Options.Dir set, the store is durable: every accepted batch is
+// appended to a write-ahead log (internal/wal) and made durable — per the
+// Sync policy — before ApplyBatch returns, and the full epoch state is
+// periodically checkpointed to a binary snapshot file (internal/snapfile),
+// after which the covered log prefix is truncated. Reopening the directory
+// (Open with a nil graph) loads the newest checkpoint by slicing its flat
+// layout — no recompression — and replays any log tail through the
+// incremental maintainers' Replay entry points. A store recovered with an
+// empty tail serves reads straight from the loaded snapshot and defers
+// building maintainer state until the first write. See DESIGN.md,
+// "Durability".
 package store
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -43,10 +58,33 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/queries"
 	"repro/internal/reach"
+	"repro/internal/snapfile"
+	"repro/internal/wal"
 )
 
 // ErrClosed is returned by ApplyBatch after Close.
 var ErrClosed = errors.New("store: closed")
+
+// ErrStateExists is returned by Open/OpenSharded when a graph is passed
+// but the directory already holds durable state: recovering would discard
+// the graph, initializing would discard the state. Pass a nil graph to
+// recover, or point Dir at a fresh directory.
+var ErrStateExists = errors.New("store: directory already contains durable state; pass a nil graph to recover it")
+
+// ErrNotDurable is returned by Checkpoint on a store opened without a Dir.
+var ErrNotDurable = errors.New("store: not durable (no Options.Dir)")
+
+// SyncMode is the WAL fsync policy, re-exported from internal/wal.
+type SyncMode = wal.SyncMode
+
+const (
+	// SyncAlways fsyncs the WAL once per coalesced batch group, before any
+	// caller is acknowledged: an acked batch survives power failure.
+	SyncAlways = wal.SyncAlways
+	// SyncNone leaves flushing to the OS: an acked batch survives a
+	// process crash but may be lost on power failure.
+	SyncNone = wal.SyncNone
+)
 
 // maxCoalesce bounds how many queued batches the writer folds into one
 // snapshot rebuild.
@@ -57,11 +95,28 @@ type Options struct {
 	// Indexes controls whether each snapshot carries 2-hop reachability
 	// indexes built over the two compressed graphs (the paper's Fig. 12(d)
 	// point: indexing Gr is cheap where indexing G is not). Building them
-	// adds per-epoch work proportional to the (small) quotients.
+	// adds per-epoch work proportional to the (small) quotients. When
+	// recovering from a durable directory, the loaded snapshot's own
+	// index presence wins, so a store restarts with the configuration it
+	// was serving.
 	Indexes bool
+	// Dir enables durability: snapshot checkpoints and the write-ahead
+	// log live here. Empty means in-memory only.
+	Dir string
+	// Sync is the WAL fsync policy (durable stores only).
+	Sync SyncMode
+	// CheckpointBatches triggers a background checkpoint once this many
+	// batches accumulated since the last one. 0 means the default (256);
+	// negative disables the batch trigger.
+	CheckpointBatches int
+	// CheckpointBytes triggers a background checkpoint once the WAL holds
+	// this many bytes. 0 means the default (8 MiB); negative disables the
+	// byte trigger.
+	CheckpointBytes int64
 }
 
-// DefaultOptions returns the standard configuration: 2-hop indexes on.
+// DefaultOptions returns the standard configuration: 2-hop indexes on,
+// in-memory (no Dir), SyncAlways once a Dir is set.
 func DefaultOptions() Options { return Options{Indexes: true} }
 
 // ReachView is the reachability-compressed face of one snapshot.
@@ -182,9 +237,14 @@ type Stats struct {
 	PatternRatio   float64
 }
 
+type applyOutcome struct {
+	res ApplyResult
+	err error
+}
+
 type applyReq struct {
 	batch []graph.Update
-	res   chan ApplyResult
+	res   chan applyOutcome
 }
 
 // Store is a concurrent compressed-graph store: one writer, any number of
@@ -192,8 +252,15 @@ type applyReq struct {
 type Store struct {
 	opts Options
 
-	rm *increach.Maintainer // owns the authoritative write-side G
-	pm *incbisim.Maintainer // owns its own copy, kept in lockstep
+	// rm/pm own the authoritative write-side state (pm keeps its own graph
+	// copy in lockstep). Both are nil in a store recovered from a snapshot
+	// until the first write forces ensureMaintainers — the lazy path that
+	// makes a warm restart O(read) instead of O(recompress). Only the
+	// writer goroutine (or Open, before it starts) touches them.
+	rm *increach.Maintainer
+	pm *incbisim.Maintainer
+
+	dur *durable // nil for in-memory stores
 
 	snap    atomic.Pointer[Snapshot]
 	scratch sync.Pool // *queries.Scratch
@@ -209,14 +276,58 @@ type Store struct {
 	reads   atomic.Uint64
 }
 
-// Open takes ownership of g (it must not be used afterwards), compresses it
-// under both schemes, publishes the epoch-0 snapshot, and starts the writer
-// goroutine. Close releases it.
-func Open(g *graph.Graph, opts *Options) *Store {
+// Open returns a running Store serving queries on both compressed forms
+// while accepting batched edge updates; Close releases it.
+//
+// With no Options.Dir, it takes ownership of g (which must not be used
+// afterwards), compresses it under both schemes, publishes the epoch-0
+// snapshot and starts the writer; it never fails. With a Dir naming a
+// fresh directory it additionally writes the epoch-0 checkpoint and opens
+// the write-ahead log. With a Dir holding previous state, g must be nil:
+// the store recovers by loading the newest checkpoint and replaying the
+// WAL tail, and serves reads from the loaded snapshot without
+// recompressing anything.
+func Open(g *graph.Graph, opts *Options) (*Store, error) {
 	o := DefaultOptions()
 	if opts != nil {
 		o = *opts
 	}
+	if o.Dir == "" {
+		if g == nil {
+			return nil, errors.New("store: Open needs a graph when no Dir is set")
+		}
+		return openMem(g, o), nil
+	}
+	if HasState(o.Dir) {
+		if g != nil {
+			return nil, fmt.Errorf("%w (%s)", ErrStateExists, o.Dir)
+		}
+		return recoverStore(o)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("store: %s holds no recoverable state and no graph was given", o.Dir)
+	}
+	s := openMem(g, o)
+	d, err := initDurable(o, snapfile.KindStore)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.dur = d
+	if err := s.writeCheckpoint(s.Snapshot()); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := d.openLog(1); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openMem builds the in-memory store around fresh maintainers and starts
+// the writer.
+func openMem(g *graph.Graph, o Options) *Store {
 	n := g.NumNodes() // captured now: the closure below runs on reader
 	// goroutines and must not touch the writer-owned graph
 	s := &Store{
@@ -230,6 +341,19 @@ func Open(g *graph.Graph, opts *Options) *Store {
 	s.publish(0)
 	go s.run()
 	return s
+}
+
+// ensureMaintainers materializes the incremental maintainers of a store
+// recovered from a snapshot with no WAL tail: the first write pays the
+// one-time compression cost that the warm restart skipped. Writer
+// goroutine only.
+func (s *Store) ensureMaintainers() {
+	if s.rm != nil {
+		return
+	}
+	gm := s.Snapshot().G.Thaw()
+	s.rm = increach.New(gm)
+	s.pm = incbisim.New(gm.Clone())
 }
 
 // publish rebuilds the snapshot from the maintainers and swaps it in.
@@ -255,7 +379,8 @@ func (s *Store) publish(epoch uint64) {
 }
 
 // run is the writer goroutine: it serializes batches, folds queued requests
-// into one snapshot rebuild, and signals completion after publication.
+// into one snapshot rebuild, logs the group to the WAL (group commit)
+// before any state changes, and signals completion after publication.
 func (s *Store) run() {
 	defer close(s.idle)
 	for req := range s.reqs {
@@ -272,28 +397,160 @@ func (s *Store) run() {
 				break drain
 			}
 		}
-		results := make([]ApplyResult, len(pending))
+		// WAL first: the group is appended and committed before any batch
+		// is applied or acknowledged, so acked ⇒ durable. A log failure
+		// breaks the store's write path permanently (reads keep working on
+		// the last snapshot): with the log behind the maintainers' state,
+		// continuing would acknowledge updates a restart silently forgets.
+		epochs := make([]uint64, len(pending))
+		for i := range pending {
+			epochs[i] = s.batches.Add(1)
+		}
+		if s.dur != nil {
+			if err := s.dur.appendGroup(epochs, func(i int) []graph.Update { return pending[i].batch }); err != nil {
+				for _, p := range pending {
+					p.res <- applyOutcome{err: err}
+				}
+				continue
+			}
+		}
+		s.ensureMaintainers()
+		results := make([]applyOutcome, len(pending))
 		for i, p := range pending {
-			results[i] = ApplyResult{
-				Epoch:   s.batches.Add(1),
+			results[i].res = ApplyResult{
+				Epoch:   epochs[i],
 				Reach:   s.rm.Apply(p.batch),
 				Pattern: s.pm.Apply(p.batch),
 			}
 			s.updates.Add(uint64(len(p.batch)))
 		}
-		s.publish(results[len(results)-1].Epoch)
+		s.publish(epochs[len(epochs)-1])
 		for i, p := range pending {
 			p.res <- results[i]
 		}
+		s.maybeCheckpoint()
 	}
 }
 
+// maybeCheckpoint hands the current snapshot to the durable layer's
+// background checkpoint trigger. Writer goroutine only.
+func (s *Store) maybeCheckpoint() {
+	if s.dur == nil {
+		return
+	}
+	sn := s.snap.Load()
+	s.dur.maybeCheckpoint(sn.Epoch, func() error { return s.writeCheckpoint(sn) })
+}
+
+// Checkpoint synchronously writes the current snapshot to the durable
+// directory, points the manifest at it, and truncates the WAL prefix it
+// covers. After Checkpoint, reopening the directory is a pure snapshot
+// load. It fails with ErrNotDurable on an in-memory store.
+func (s *Store) Checkpoint() error {
+	if s.dur == nil {
+		return ErrNotDurable
+	}
+	return s.writeCheckpoint(s.Snapshot())
+}
+
+// writeCheckpoint persists sn as the directory's newest checkpoint.
+func (s *Store) writeCheckpoint(sn *Snapshot) error {
+	return s.dur.checkpoint(sn.Epoch, func(path string) error {
+		return snapfile.WriteStore(path, storeParts(sn))
+	})
+}
+
+// storeParts projects a published snapshot onto the codec's flat form. The
+// snapshot is immutable, so this is safe off the writer goroutine.
+func storeParts(sn *Snapshot) *snapfile.StoreParts {
+	return &snapfile.StoreParts{
+		Epoch:          sn.Epoch,
+		G:              sn.G,
+		ReachGr:        sn.Reach.Gr,
+		ReachClassOf:   sn.Reach.Compressed.ClassMap(),
+		ReachMembers:   sn.Reach.Compressed.Members,
+		ReachCyclic:    sn.Reach.Compressed.CyclicClass,
+		ReachIndex:     sn.Reach.Index,
+		PatternGr:      sn.Pattern.Gr,
+		PatternBlockOf: sn.Pattern.Compressed.ClassMap(),
+		PatternMembers: sn.Pattern.Compressed.Members,
+		PatternIndex:   sn.Pattern.Index,
+	}
+}
+
+// recoverStore reopens a durable directory: load the newest checkpoint,
+// replay the WAL tail through the maintainers' Replay entry points, and
+// start serving. With an empty tail no compression work happens at all.
+func recoverStore(o Options) (*Store, error) {
+	d, err := initDurable(o, snapfile.KindStore)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := snapfile.LoadStore(d.snapshotPath())
+	if err != nil {
+		return nil, err
+	}
+	if parts.Epoch != d.manifestEpoch {
+		return nil, fmt.Errorf("store: snapshot %s is epoch %d, manifest says %d", d.manifestSnapshot, parts.Epoch, d.manifestEpoch)
+	}
+	o.Indexes = parts.ReachIndex != nil
+	sn := &Snapshot{
+		Epoch: parts.Epoch,
+		G:     parts.G,
+		Reach: ReachView{
+			Gr:         parts.ReachGr,
+			Compressed: reach.AssembleCompressed(parts.ReachGr.Thaw(), parts.ReachClassOf, parts.ReachMembers, parts.ReachCyclic),
+			Index:      parts.ReachIndex,
+		},
+		Pattern: PatternView{
+			Gr:         parts.PatternGr,
+			Compressed: bisim.AssembleCompressed(parts.PatternGr.Thaw(), parts.PatternBlockOf, parts.PatternMembers),
+			Index:      parts.PatternIndex,
+		},
+	}
+	s := &Store{
+		opts: o,
+		dur:  d,
+		reqs: make(chan applyReq),
+		idle: make(chan struct{}),
+	}
+	n := sn.G.NumNodes()
+	s.scratch.New = func() any { return queries.NewScratch(n) }
+	s.snap.Store(sn)
+	s.batches.Store(sn.Epoch)
+
+	if err := d.openLog(parts.Epoch + 1); err != nil {
+		return nil, err
+	}
+	tail, updates, err := d.replayTail(parts.Epoch, n)
+	if err != nil {
+		d.close()
+		return nil, err
+	}
+	if len(tail) > 0 {
+		// The tail exists only when the last run crashed or closed between
+		// checkpoints; replaying it re-pays maintenance for those batches
+		// but never recompresses the checkpointed prefix.
+		gm := sn.G.Thaw()
+		gp := gm.Clone()
+		s.rm = increach.Replay(gm, tail)
+		s.pm = incbisim.Replay(gp, tail)
+		s.batches.Store(sn.Epoch + uint64(len(tail)))
+		s.updates.Store(updates)
+		s.publish(sn.Epoch + uint64(len(tail)))
+	}
+	go s.run()
+	return s, nil
+}
+
 // ApplyBatch submits one batch ΔG and blocks until the snapshot containing
-// it is published; the store then equals G ⊕ ΔG for every reader. Batches
-// from concurrent callers are applied in arrival order. It returns ErrClosed
-// after Close.
+// it is published; the store then equals G ⊕ ΔG for every reader, and — on
+// a durable store — the batch is on stable storage per the Sync policy.
+// Batches from concurrent callers are applied in arrival order. It returns
+// ErrClosed after Close, and the WAL failure that broke a durable store's
+// write path thereafter.
 func (s *Store) ApplyBatch(batch []graph.Update) (ApplyResult, error) {
-	req := applyReq{batch: batch, res: make(chan ApplyResult, 1)}
+	req := applyReq{batch: batch, res: make(chan applyOutcome, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -301,11 +558,15 @@ func (s *Store) ApplyBatch(batch []graph.Update) (ApplyResult, error) {
 	}
 	s.reqs <- req
 	s.mu.RUnlock()
-	return <-req.res, nil
+	out := <-req.res
+	return out.res, out.err
 }
 
-// Close stops the writer goroutine after the queue drains. Queries remain
-// answerable on the final snapshot; further ApplyBatch calls fail.
+// Close stops the writer goroutine after the queue drains, waits for any
+// in-flight background checkpoint, and closes the WAL. Queries remain
+// answerable on the final snapshot; further ApplyBatch calls fail. Close
+// does not checkpoint: a reopen replays the WAL tail instead (call
+// Checkpoint first to make the next start a pure snapshot load).
 func (s *Store) Close() {
 	s.mu.Lock()
 	if !s.closed {
@@ -314,6 +575,9 @@ func (s *Store) Close() {
 	}
 	s.mu.Unlock()
 	<-s.idle
+	if s.dur != nil {
+		s.dur.close()
+	}
 }
 
 // Snapshot returns the current epoch's immutable query state. Use it to pin

@@ -22,7 +22,7 @@ func socialGraph(seed int64, n, m int) *graph.Graph {
 func TestStoreAnswersMatchBatchRecompression(t *testing.T) {
 	g := socialGraph(1, 300, 1500)
 	mirror := g.Clone()
-	s := Open(g, nil)
+	s := mustOpen(t, g, nil)
 	defer s.Close()
 
 	rng := rand.New(rand.NewSource(2))
@@ -97,7 +97,7 @@ func TestStoreSnapshotPinning(t *testing.T) {
 	c := g.AddNodeNamed("C")
 	g.AddEdge(a, b)
 
-	s := Open(g, nil)
+	s := mustOpen(t, g, nil)
 	defer s.Close()
 
 	old := s.Snapshot()
@@ -122,7 +122,7 @@ func TestStoreSnapshotPinning(t *testing.T) {
 // TestStoreClose verifies ErrClosed and that reads survive Close.
 func TestStoreClose(t *testing.T) {
 	g := socialGraph(3, 50, 200)
-	s := Open(g, nil)
+	s := mustOpen(t, g, nil)
 	if _, err := s.ApplyBatch([]graph.Update{graph.Insertion(0, 1)}); err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestStoreClose(t *testing.T) {
 func TestStoreConcurrentAppliers(t *testing.T) {
 	g := socialGraph(4, 200, 600)
 	mirror := g.Clone()
-	s := Open(g, nil)
+	s := mustOpen(t, g, nil)
 	defer s.Close()
 
 	rng := rand.New(rand.NewSource(5))

@@ -49,7 +49,7 @@ func TestStoreStressReadersVsWriter(t *testing.T) {
 		wantMatch[e] = pattern.MatchCSR(truth[e], p)
 	}
 
-	s := Open(g, nil)
+	s := mustOpen(t, g, nil)
 	defer s.Close()
 
 	var done atomic.Bool

@@ -1,0 +1,27 @@
+package store
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mustOpen opens an in-memory or durable store, failing the test on error.
+func mustOpen(t testing.TB, g *graph.Graph, opts *Options) *Store {
+	t.Helper()
+	s, err := Open(g, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// mustOpenSharded opens a sharded store, failing the test on error.
+func mustOpenSharded(t testing.TB, g *graph.Graph, opts *ShardedOptions) *ShardedStore {
+	t.Helper()
+	s, err := OpenSharded(g, opts)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	return s
+}

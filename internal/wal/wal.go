@@ -1,0 +1,569 @@
+// Package wal implements the store's segmented write-ahead log: an
+// append-only sequence of CRC-framed records spread over size-bounded
+// segment files, with a configurable fsync policy, whole-segment truncation
+// after checkpoints, and torn-tail recovery on open.
+//
+// # Record framing and durability contract
+//
+// Every record is framed as
+//
+//	u32 size   — length of the sequence number + payload that follow (≥ 8)
+//	u32 crc    — CRC-32C (Castagnoli) over those size bytes
+//	u64 seq    — the record's log sequence number
+//	payload    — size-8 opaque bytes
+//
+// in little-endian byte order. Sequence numbers are assigned by the caller
+// and must advance by exactly one per append; the store uses the batch
+// epoch, so "WAL record seq" and "store epoch" coincide. A record is
+// durable once Commit (under SyncAlways) or Sync has returned: the store
+// acknowledges a batch only after that point, so an acked batch survives
+// any crash, while a batch lost mid-write leaves a torn tail that recovery
+// discards — exactly the "acked implies durable, unacked implies absent or
+// torn-away" contract the crash-recovery tests pin down.
+//
+// # Segments, truncation, torn tails
+//
+// Records append to the active segment file, named wal-<first-seq>.seg by
+// the sequence number of its first record. When the active segment exceeds
+// Options.SegmentBytes it is sealed (synced, closed) and a fresh segment
+// starts, so TruncateBefore can drop whole files that a checkpoint has made
+// obsolete without rewriting anything. On open, sealed segments must parse
+// completely — corruption there means real data loss and is reported as an
+// error — while the last segment is scanned record by record and truncated
+// at the first invalid frame (short header, impossible size, CRC mismatch,
+// or non-consecutive seq), recovering from a crash that tore the final
+// write.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// SyncMode selects the fsync policy applied by Commit.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs the active segment on every Commit: an
+	// acknowledged batch survives OS and power failure.
+	SyncAlways SyncMode = iota
+	// SyncNone never fsyncs on Commit; data reaches the OS page cache
+	// only. A process crash loses nothing, a machine crash may lose the
+	// most recent batches. ~10-100× higher append throughput.
+	SyncNone
+)
+
+// MaxRecordBytes bounds a single record's size field; larger values are
+// treated as corruption. It exists so a flipped bit in a size field cannot
+// make recovery attempt a multi-gigabyte read.
+const MaxRecordBytes = 1 << 28
+
+const (
+	frameHeader = 8 // u32 size + u32 crc
+	seqBytes    = 8
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+)
+
+// ErrCorrupt reports corruption outside the recoverable torn tail: a sealed
+// segment that does not parse, or a segment whose first record disagrees
+// with its filename. Errors wrapping it mean acknowledged data was lost.
+var ErrCorrupt = errors.New("wal: corrupt segment")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: closed")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// SegmentBytes is the rotation threshold for the active segment.
+	// Defaults to 4 MiB.
+	SegmentBytes int64
+	// Sync is the Commit fsync policy. Defaults to SyncAlways.
+	Sync SyncMode
+}
+
+// DefaultOptions returns the standard configuration: 4 MiB segments,
+// fsync on every commit.
+func DefaultOptions() Options { return Options{SegmentBytes: 4 << 20, Sync: SyncAlways} }
+
+type segment struct {
+	name  string
+	first uint64 // seq of the segment's first record (from the filename)
+	size  int64
+}
+
+// Log is a segmented write-ahead log. All methods are safe for concurrent
+// use; in the store exactly one goroutine appends while checkpoints
+// truncate concurrently.
+type Log struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	segs   []segment // ascending by first; last is active
+	active *os.File
+	next   uint64 // seq the next Append must carry
+	frame  []byte // reusable framing buffer
+	closed bool
+}
+
+// Open opens (or creates) the log in dir and recovers its tail. nextSeq is
+// the caller's expected next sequence number — the recovered store epoch
+// plus one; it names the first segment of an empty log and guards against
+// a log that lags the snapshot it accompanies (appends then resume at
+// nextSeq in a fresh segment). Sealed segments failing to parse, or a
+// scanned tail that has advanced beyond any caller expectation mismatch,
+// surface as errors wrapping ErrCorrupt.
+func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
+	o := DefaultOptions()
+	if opts != nil {
+		o = *opts
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: o}
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		l.next = nextSeq
+		if err := l.startSegment(nextSeq); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	for _, name := range names {
+		first, err := parseSegmentName(name)
+		if err != nil {
+			return nil, err
+		}
+		l.segs = append(l.segs, segment{name: name, first: first})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
+
+	// Sealed segments must parse completely; the last one may carry a torn
+	// tail, which is cut off in place.
+	for i := range l.segs {
+		s := &l.segs[i]
+		data, err := os.ReadFile(filepath.Join(dir, s.name))
+		if err != nil {
+			return nil, err
+		}
+		last, good, scanErr := scanSegment(data, s.first)
+		sealed := i < len(l.segs)-1
+		if scanErr != nil && sealed {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, s.name, scanErr)
+		}
+		if !sealed && int(good) < len(data) {
+			if err := os.Truncate(filepath.Join(dir, s.name), good); err != nil {
+				return nil, err
+			}
+			data = data[:good]
+		}
+		s.size = int64(len(data))
+		if last >= s.first { // segment holds at least one record
+			l.next = last + 1
+		} else {
+			l.next = s.first
+		}
+	}
+
+	// Re-open the last segment for appending.
+	tail := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(filepath.Join(dir, tail.name), os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, err
+	}
+	l.active = f
+
+	// A log lagging its snapshot (e.g. segments deleted by hand) resumes at
+	// the caller's sequence in a fresh segment, keeping the invariant that a
+	// segment's records are consecutive from its filename's seq.
+	if nextSeq > l.next {
+		l.next = nextSeq
+		if err := l.rotateLocked(); err != nil {
+			l.active.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Append frames one record and writes it to the active segment, rotating
+// first if the segment is over the size threshold. seq must be exactly
+// LastSeq()+1. The record is not durable until Commit or Sync returns.
+func (l *Log) Append(seq uint64, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if seq != l.next {
+		return fmt.Errorf("wal: append seq %d, want %d", seq, l.next)
+	}
+	size := seqBytes + len(payload)
+	if size > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes", size)
+	}
+	if l.segs[len(l.segs)-1].size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	l.frame = l.frame[:0]
+	l.frame = binary.LittleEndian.AppendUint32(l.frame, uint32(size))
+	l.frame = append(l.frame, 0, 0, 0, 0) // crc placeholder
+	l.frame = binary.LittleEndian.AppendUint64(l.frame, seq)
+	l.frame = append(l.frame, payload...)
+	binary.LittleEndian.PutUint32(l.frame[4:8], crc32.Checksum(l.frame[frameHeader:], castagnoli))
+	if _, err := l.active.Write(l.frame); err != nil {
+		return err
+	}
+	l.segs[len(l.segs)-1].size += int64(len(l.frame))
+	l.next = seq + 1
+	return nil
+}
+
+// Commit makes everything appended so far durable under the configured
+// policy: an fsync of the active segment for SyncAlways, a no-op for
+// SyncNone. The store calls it once per coalesced batch group before
+// acknowledging the group's callers (group commit).
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.opts.Sync == SyncNone {
+		return nil
+	}
+	return l.active.Sync()
+}
+
+// Sync fsyncs the active segment regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.active.Sync()
+}
+
+// Mark is an opaque log position taken before a group of appends, for
+// Rollback.
+type Mark struct {
+	segIndex int
+	segName  string
+	size     int64
+	next     uint64
+}
+
+// TailMark records the current end of the log. Take one before appending
+// a batch group so a failed group can be rolled back.
+func (l *Log) TailMark() Mark {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tail := l.segs[len(l.segs)-1]
+	return Mark{segIndex: len(l.segs) - 1, segName: tail.name, size: tail.size, next: l.next}
+}
+
+// Rollback truncates the log back to a TailMark, erasing every record
+// appended since — the store uses it when a group's append or commit
+// fails, so batches whose callers saw an error can never resurface on
+// restart. Segments created after the mark are deleted and the marked
+// segment's file is truncated and re-opened for appending. Rollback is
+// best-effort on an already-failing disk; its own error means the tail
+// could not be erased.
+func (l *Log) Rollback(m Mark) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if m.segIndex >= len(l.segs) || l.segs[m.segIndex].name != m.segName {
+		return fmt.Errorf("wal: rollback mark names unknown segment %s", m.segName)
+	}
+	// Drop whole segments the group caused to be created.
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	for _, s := range l.segs[m.segIndex+1:] {
+		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	l.segs = l.segs[:m.segIndex+1]
+	path := filepath.Join(l.dir, m.segName)
+	if err := os.Truncate(path, m.size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	l.active = f
+	l.segs[m.segIndex].size = m.size
+	l.next = m.next
+	return l.active.Sync()
+}
+
+// Replay streams every record with seq >= from to fn, in sequence order.
+// It must not run concurrently with Append (the store replays before its
+// writer starts). A decoding error in any segment — all tails were already
+// healed by Open — is reported wrapping ErrCorrupt, as is a sequence gap
+// between segments that the replay range needs: a missing sealed segment
+// means acknowledged records were lost, and recovery must fail loudly
+// rather than serve a state with silently dropped batches. Gaps entirely
+// below from are fine (checkpoint truncation works in whole segments).
+func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	havePrev := false
+	var prevLast uint64
+	for _, s := range l.segs {
+		if havePrev && s.first != prevLast+1 {
+			if s.first < prevLast+1 {
+				return fmt.Errorf("%w: segment %s overlaps seq %d", ErrCorrupt, s.name, prevLast)
+			}
+			if s.first > from { // the missing range [prevLast+1, s.first) intersects [from, ∞)
+				return fmt.Errorf("%w: records %d-%d missing before %s", ErrCorrupt, prevLast+1, s.first-1, s.name)
+			}
+		}
+		havePrev = true
+		prevLast = s.first - 1 // advanced by the scan below
+		if s.size == 0 {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, s.name))
+		if err != nil {
+			return err
+		}
+		off := 0
+		seq := s.first
+		for off < len(data) {
+			gotSeq, payload, n, err := ParseRecord(data[off:])
+			if err != nil {
+				return fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, s.name, off, err)
+			}
+			if gotSeq != seq {
+				return fmt.Errorf("%w: %s at offset %d: seq %d, want %d", ErrCorrupt, s.name, off, gotSeq, seq)
+			}
+			if gotSeq >= from {
+				if err := fn(gotSeq, payload); err != nil {
+					return err
+				}
+			}
+			off += n
+			seq++
+		}
+		prevLast = seq - 1
+	}
+	return nil
+}
+
+// TruncateBefore deletes sealed segments every record of which has
+// seq <= upTo — the checkpoint already covers them. The active segment is
+// never deleted, so the log always has a place to append.
+func (l *Log) TruncateBefore(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	keep := l.segs[:0]
+	removed := false
+	for i, s := range l.segs {
+		sealed := i < len(l.segs)-1
+		// A sealed segment's records end just before its successor's first.
+		if sealed && l.segs[i+1].first <= upTo+1 {
+			if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			removed = true
+			continue
+		}
+		keep = append(keep, s)
+	}
+	l.segs = keep
+	if removed {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the last appended record, or one
+// less than the next expected sequence for an empty log.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// SizeBytes returns the total on-disk size of all segments.
+func (l *Log) SizeBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, s := range l.segs {
+		n += s.size
+	}
+	return n
+}
+
+// SegmentCount returns the number of live segment files.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Close syncs and closes the active segment. The log is unusable
+// afterwards; Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// rotateLocked seals the active segment and starts a fresh one whose first
+// record will be l.next. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		return err
+	}
+	return l.startSegment(l.next)
+}
+
+// startSegment creates and opens the segment file for first, appending its
+// metadata entry. Callers hold l.mu (or own the log exclusively in Open).
+func (l *Log) startSegment(first uint64) error {
+	name := segmentName(first)
+	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.active = f
+	l.segs = append(l.segs, segment{name: name, first: first})
+	return nil
+}
+
+// ParseRecord decodes the first record framed in b, returning its sequence
+// number, a payload view into b, and the total frame length consumed. It
+// is the unit the torn-tail scanner and the fuzz target exercise: any
+// input — truncated, bit-flipped, or adversarial — yields an error, never
+// a panic or an allocation proportional to a corrupt size field.
+func ParseRecord(b []byte) (seq uint64, payload []byte, n int, err error) {
+	if len(b) < frameHeader {
+		return 0, nil, 0, fmt.Errorf("short frame header (%d bytes)", len(b))
+	}
+	size := int(binary.LittleEndian.Uint32(b[0:4]))
+	if size < seqBytes || size > MaxRecordBytes {
+		return 0, nil, 0, fmt.Errorf("impossible record size %d", size)
+	}
+	if len(b) < frameHeader+size {
+		return 0, nil, 0, fmt.Errorf("truncated record: %d of %d bytes", len(b)-frameHeader, size)
+	}
+	body := b[frameHeader : frameHeader+size]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+		return 0, nil, 0, errors.New("crc mismatch")
+	}
+	return binary.LittleEndian.Uint64(body[:seqBytes]), body[seqBytes:], frameHeader + size, nil
+}
+
+// scanSegment walks data record by record, verifying framing and that
+// sequence numbers run consecutively from first. It returns the last valid
+// seq (first-1 when none), the byte offset just past the last valid
+// record — the truncation point for a torn tail — and the error that
+// stopped the scan (nil for a clean segment).
+func scanSegment(data []byte, first uint64) (last uint64, good int64, err error) {
+	off := 0
+	seq := first
+	for off < len(data) {
+		gotSeq, _, n, perr := ParseRecord(data[off:])
+		if perr != nil {
+			return seq - 1, int64(off), perr
+		}
+		if gotSeq != seq {
+			return seq - 1, int64(off), fmt.Errorf("seq %d, want %d", gotSeq, seq)
+		}
+		off += n
+		seq++
+	}
+	return seq - 1, int64(off), nil
+}
+
+// listSegments returns the names of all segment files in dir.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), segPrefix) && strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// segmentName formats the filename for a segment whose first record is seq.
+func segmentName(seq uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, seq, segSuffix)
+}
+
+// parseSegmentName extracts the first-record seq from a segment filename.
+func parseSegmentName(name string) (uint64, error) {
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad segment name %q", ErrCorrupt, name)
+	}
+	return v, nil
+}
+
+// syncDir fsyncs a directory so entry creation/deletion survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -157,15 +157,42 @@ type (
 // ErrStoreClosed is returned by Store.ApplyBatch after Close.
 var ErrStoreClosed = store.ErrClosed
 
-// Open takes ownership of g and returns a running Store serving queries on
-// both compressed forms while accepting batched edge updates. Pass nil opts
-// for the defaults. Close it when done.
-func Open(g *Graph, opts *StoreOptions) *Store { return store.Open(g, opts) }
+// ErrStoreStateExists is returned by Open/OpenSharded when a graph is
+// passed but the durable directory already holds state; pass a nil graph
+// to recover it instead.
+var ErrStoreStateExists = store.ErrStateExists
 
-// OpenSharded takes ownership of g and returns a running ShardedStore with
-// opts.Shards partition-parallel write pipelines. Pass nil opts for the
-// defaults (4 shards, per-shard 2-hop indexes). Close it when done.
-func OpenSharded(g *Graph, opts *ShardedOptions) *ShardedStore { return store.OpenSharded(g, opts) }
+// SyncMode is the durable store's WAL fsync policy.
+type SyncMode = store.SyncMode
+
+// SyncAlways fsyncs the write-ahead log before acknowledging a batch.
+const SyncAlways = store.SyncAlways
+
+// SyncNone leaves WAL flushing to the OS page cache.
+const SyncNone = store.SyncNone
+
+// Open returns a running Store serving queries on both compressed forms
+// while accepting batched edge updates. Pass nil opts for the defaults
+// (in-memory, 2-hop indexes on); it never fails without a StoreOptions.Dir.
+// With a Dir the store is durable — batches are write-ahead logged before
+// acknowledgement and the epoch state checkpoints in the background — and
+// Open with a nil graph recovers a previous run's state from the
+// directory, serving straight from the loaded snapshot. Close it when done.
+func Open(g *Graph, opts *StoreOptions) (*Store, error) { return store.Open(g, opts) }
+
+// OpenSharded returns a running ShardedStore with opts.Shards
+// partition-parallel write pipelines. Pass nil opts for the defaults
+// (4 shards, per-shard 2-hop indexes, in-memory). Durability and recovery
+// work as in Open: set ShardedOptions.Dir, and pass a nil graph to recover
+// an existing directory. Close it when done.
+func OpenSharded(g *Graph, opts *ShardedOptions) (*ShardedStore, error) {
+	return store.OpenSharded(g, opts)
+}
+
+// HasStoreState reports whether dir holds a recoverable durable store
+// (of either kind), i.e. whether Open/OpenSharded there must be given a
+// nil graph.
+func HasStoreState(dir string) bool { return store.HasState(dir) }
 
 // NewRouteScratch returns empty routing scratch for ShardedSnapshot
 // queries; all state grows on demand.
