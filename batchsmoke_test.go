@@ -1,0 +1,75 @@
+package qpgc
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// TestBatchThroughputRegression is the CI benchmark-regression smoke: on a
+// collapsed-quotient social graph, the batched read path must sustain
+// strictly higher aggregate reachability throughput than the scalar one at
+// batch=64 — the PR 5 invariant this repository must never regress. It is
+// gated behind QPGC_BENCH_SMOKE=1 because wall-clock assertions do not
+// belong in the default unit-test run; CI sets the variable on a dedicated
+// step. The margin on quiet machines is several-fold (see the `batch`
+// harness experiment), so a strict > comparison over sustained averages
+// stays robust against runner noise.
+func TestBatchThroughputRegression(t *testing.T) {
+	if os.Getenv("QPGC_BENCH_SMOKE") == "" {
+		t.Skip("set QPGC_BENCH_SMOKE=1 to run the benchmark regression smoke")
+	}
+	rng := rand.New(rand.NewSource(21))
+	g := gen.Social(rng, 4000, 24000, 5)
+	n := g.NumNodes()
+	const np = 256
+	us := make([]graph.Node, np)
+	vs := make([]graph.Node, np)
+	for i := range us {
+		us[i] = graph.Node(rng.Intn(n))
+		vs[i] = graph.Node(rng.Intn(n))
+	}
+	s, err := store.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sustained := func(fn func()) time.Duration {
+		const rounds = 50
+		fn() // warm pools and caches
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			fn()
+		}
+		return time.Since(start) / rounds
+	}
+	scalar := sustained(func() {
+		for i := range us {
+			s.Reachable(us[i], vs[i])
+		}
+	})
+	batched := sustained(func() {
+		for off := 0; off < np; off += 64 {
+			s.BatchReachable(us[off:off+64], vs[off:off+64])
+		}
+	})
+	t.Logf("scalar: %v per %d queries (%.0f q/s)", scalar, np, float64(np)/scalar.Seconds())
+	t.Logf("batched: %v per %d queries (%.0f q/s)", batched, np, float64(np)/batched.Seconds())
+	if batched >= scalar {
+		t.Fatalf("batched aggregate throughput regressed: %v per pass vs scalar %v", batched, scalar)
+	}
+
+	// The answers feeding the timing must agree, or the numbers are moot.
+	out := s.BatchReachable(us, vs)
+	for i := range us {
+		if want := s.Reachable(us[i], vs[i]); out[i] != want {
+			t.Fatalf("batched answer %d diverged from scalar", i)
+		}
+	}
+}

@@ -429,3 +429,147 @@ func BenchmarkAHOTransitiveReduction(b *testing.B) {
 		reach.AHOReduce(g)
 	}
 }
+
+// --- Batched read path and CSR reordering (PR 5) ---
+
+// benchBatchStore opens the store and query pairs shared by the batch
+// read-path benchmarks.
+func benchBatchStore(b *testing.B) (*store.Store, []graph.Node, []graph.Node) {
+	b.Helper()
+	g := socialGraph(4000, 24000)
+	rng := rand.New(rand.NewSource(12))
+	n := g.NumNodes()
+	us := make([]graph.Node, 256)
+	vs := make([]graph.Node, 256)
+	for i := range us {
+		us[i] = graph.Node(rng.Intn(n))
+		vs[i] = graph.Node(rng.Intn(n))
+	}
+	s, _ := store.Open(g, nil) // in-memory: cannot fail
+	b.Cleanup(s.Close)
+	return s, us, vs
+}
+
+// BenchmarkStoreScalarReachable answers 256 point queries one store call
+// at a time — the per-query serving cost the batch path amortizes.
+func BenchmarkStoreScalarReachable(b *testing.B) {
+	s, us, vs := benchBatchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range us {
+			s.Reachable(us[j], vs[j])
+		}
+	}
+}
+
+// BenchmarkStoreBatchReachable64 answers the same 256 queries as four
+// 64-lane batched store calls (one pinned snapshot and one lane sweep per
+// wave). Compare per-op time against BenchmarkStoreScalarReachable: the
+// batched aggregate throughput must come out ahead.
+func BenchmarkStoreBatchReachable64(b *testing.B) {
+	s, us, vs := benchBatchStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(us); off += 64 {
+			s.BatchReachable(us[off:off+64], vs[off:off+64])
+		}
+	}
+}
+
+// benchReorderQuotient builds one reachability quotient in both layouts:
+// the maintainer's insertion order and the topological locality order the
+// store publishes.
+func benchReorderQuotient(b *testing.B) (unord, reord *graph.CSR, uu, uv, ru, rv []graph.Node) {
+	b.Helper()
+	g := socialGraph(4000, 24000)
+	rc := reach.Compress(g)
+	unord = rc.Gr.Freeze()
+	ro := graph.ApplyPerm(unord, graph.ReorderTopoPerm(unord))
+	reord = ro.C
+	rng := rand.New(rand.NewSource(13))
+	n := g.NumNodes()
+	for i := 0; i < 256; i++ {
+		cu, cv := rc.Rewrite(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+		uu = append(uu, cu)
+		uv = append(uv, cv)
+		ru = append(ru, ro.NewID[cu])
+		rv = append(rv, ro.NewID[cv])
+	}
+	return
+}
+
+// BenchmarkQuotientBFSUnordered runs bidirectional BFS point queries over
+// the quotient in insertion order — the layout every snapshot used before
+// locality reordering.
+func BenchmarkQuotientBFSUnordered(b *testing.B) {
+	unord, _, uu, uv, _, _ := benchReorderQuotient(b)
+	sc := queries.NewScratch(unord.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range uu {
+			queries.ReachableBiCSR(unord, sc, uu[j], uv[j])
+		}
+	}
+}
+
+// BenchmarkQuotientBFSReordered runs the same queries over the
+// topologically reordered quotient; the reordered layout must be no
+// slower than the unordered one.
+func BenchmarkQuotientBFSReordered(b *testing.B) {
+	_, reord, _, _, ru, rv := benchReorderQuotient(b)
+	sc := queries.NewScratch(reord.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ru {
+			queries.ReachableBiCSR(reord, sc, ru[j], rv[j])
+		}
+	}
+}
+
+// benchReorderG freezes G in insertion order and in the BFS-from-hubs
+// locality order used by the snapshot's uncompressed read path.
+func benchReorderG(b *testing.B) (unord *graph.CSR, ro *graph.Reordered, us, vs []graph.Node) {
+	b.Helper()
+	g := socialGraph(4000, 24000)
+	unord = g.Freeze()
+	ro = graph.Reorder(unord)
+	rng := rand.New(rand.NewSource(14))
+	n := g.NumNodes()
+	for i := 0; i < 256; i++ {
+		us = append(us, graph.Node(rng.Intn(n)))
+		vs = append(vs, graph.Node(rng.Intn(n)))
+	}
+	return
+}
+
+// BenchmarkGBFSUnordered runs bidirectional BFS point queries over G in
+// insertion order.
+func BenchmarkGBFSUnordered(b *testing.B) {
+	unord, _, us, vs := benchReorderG(b)
+	sc := queries.NewScratch(unord.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range us {
+			queries.ReachableBiCSR(unord, sc, us[j], vs[j])
+		}
+	}
+}
+
+// BenchmarkGBFSReordered runs the same queries over the locality-reordered
+// G after the O(1) endpoint rewrite, exactly as Snapshot.ReachableOnG does.
+func BenchmarkGBFSReordered(b *testing.B) {
+	_, ro, us, vs := benchReorderG(b)
+	sc := queries.NewScratch(ro.C.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range us {
+			queries.ReachableBiCSR(ro.C, sc, ro.ToNew(us[j]), ro.ToNew(vs[j]))
+		}
+	}
+}

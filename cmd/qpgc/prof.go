@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/profutil"
+)
+
+// startCPUProfile begins a CPU profile to path (no-op for "") and returns
+// the stop function. Profiling the exact serving path is what the
+// -cpuprofile flags exist for: perf work wants pprof data from the code
+// that really runs in serve, not from a synthetic harness.
+func startCPUProfile(path string) func() {
+	stop, err := profutil.StartCPU(path)
+	if err != nil {
+		fatal(err)
+	}
+	return func() {
+		if err := stop(); err != nil {
+			fatal(err)
+		}
+		if path != "" {
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", path)
+		}
+	}
+}
+
+// writeMemProfile dumps an up-to-date heap profile to path (no-op for "").
+func writeMemProfile(path string) {
+	if err := profutil.WriteHeap(path); err != nil {
+		fatal(err)
+	}
+	if path != "" {
+		fmt.Fprintf(os.Stderr, "wrote heap profile to %s\n", path)
+	}
+}

@@ -19,7 +19,9 @@ import (
 	"repro/internal/store"
 )
 
-// cmdWorkload generates a mixed read/write workload file for serve.
+// cmdWorkload generates a mixed read/write workload file for serve. With
+// -batch n >= 2 the file carries the batch-mode directive, asking serve to
+// coalesce up to n queued queries into one vectorized read.
 func cmdWorkload(args []string) {
 	fs := flag.NewFlagSet("workload", flag.ExitOnError)
 	in := fs.String("in", "", "input graph file")
@@ -27,6 +29,7 @@ func cmdWorkload(args []string) {
 	ops := fs.Int("ops", 10000, "total operations")
 	write := fs.Float64("write", 0.05, "fraction of operations that are edge updates")
 	insert := fs.Float64("insert", 0.5, "fraction of updates that are insertions")
+	batch := fs.Int("batch", 0, "batch-mode directive: queries coalesced per vectorized read (0/1 = scalar)")
 	seed := fs.Int64("seed", 1, "seed")
 	fs.Parse(args)
 	if *in == "" || *out == "" {
@@ -39,7 +42,7 @@ func cmdWorkload(args []string) {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := gen.WriteWorkload(f, w); err != nil {
+	if err := gen.WriteWorkloadBatch(f, w, *batch); err != nil {
 		fatal(err)
 	}
 	var q, u int
@@ -58,12 +61,17 @@ func cmdWorkload(args []string) {
 // snapshot per op, answers on the chosen target, and — when verifying —
 // cross-checks against the OTHER representation of that same snapshot (so
 // the check is same-epoch by construction and never a vacuous
-// self-comparison). apply submits one update batch; report prints the
+// self-comparison). newBatchReader is the vectorized form used by -batch:
+// one snapshot is pinned for the whole batch, all queries are answered by
+// the store's lane-mask batch path, and verification compares the full
+// batch against the other representation of that same snapshot, returning
+// the mismatch count. apply submits one update batch; report prints the
 // store-specific summary and the verify verdict.
 type serveBackend struct {
-	newReader func(verify bool) func(u, v graph.Node) (got, mismatch bool)
-	apply     func(batch []graph.Update) error
-	report    func(mismatches int64)
+	newReader      func(verify bool) func(u, v graph.Node) (got, mismatch bool)
+	newBatchReader func(verify bool) func(us, vs []graph.Node, out []bool) (mismatches int)
+	apply          func(batch []graph.Update) error
+	report         func(mismatches int64)
 }
 
 // cmdServe drives a workload against a concurrent store: the write stream
@@ -81,12 +89,15 @@ func cmdServe(args []string) {
 	in := fs.String("in", "", "input graph file")
 	workload := fs.String("workload", "", "workload file (qpgc workload)")
 	readers := fs.Int("readers", 4, "reader goroutines")
-	batch := fs.Int("batch", 64, "updates per ApplyBatch")
+	qbatch := fs.Int("batch", 0, "queries coalesced per vectorized read (1 = scalar; 0 = workload's batch directive, else 1)")
+	wbatch := fs.Int("wbatch", 64, "updates per ApplyBatch")
 	shards := fs.Int("shards", 1, "shard count (1 = monolithic store; ignored when -data recovers)")
 	target := fs.String("target", "gr", "read path: gr (compressed), g (original), hop2 (index on Gr; monolithic only)")
 	verify := fs.Bool("verify", false, "cross-check every answer against the same snapshot's G")
 	data := fs.String("data", "", "durable directory (snapshot checkpoints + WAL); existing state is recovered")
 	syncFlag := fs.String("sync", "always", "WAL fsync policy with -data: always|none")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	fs.Parse(args)
 	if *workload == "" {
 		fatal(fmt.Errorf("serve: -workload is required"))
@@ -94,8 +105,11 @@ func cmdServe(args []string) {
 	if *readers < 1 {
 		fatal(fmt.Errorf("serve: -readers must be >= 1"))
 	}
-	if *batch < 1 {
-		fatal(fmt.Errorf("serve: -batch must be >= 1"))
+	if *wbatch < 1 {
+		fatal(fmt.Errorf("serve: -wbatch must be >= 1"))
+	}
+	if *qbatch < 0 {
+		fatal(fmt.Errorf("serve: -batch must be >= 0"))
 	}
 	var syncMode store.SyncMode
 	switch *syncFlag {
@@ -110,10 +124,18 @@ func cmdServe(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	ops, err := gen.ReadWorkload(wf)
+	wl, err := gen.ParseWorkload(wf)
 	wf.Close()
 	if err != nil {
 		fatal(err)
+	}
+	ops := wl.Ops
+	// -batch wins over the file's directive; both absent means scalar.
+	if *qbatch == 0 {
+		*qbatch = wl.Batch
+	}
+	if *qbatch == 0 {
+		*qbatch = 1
 	}
 
 	// A durable directory with state takes precedence over -in: the store
@@ -183,6 +205,36 @@ func cmdServe(args []string) {
 					return got, got != want
 				}
 			},
+			newBatchReader: func(verify bool) func(us, vs []graph.Node, out []bool) int {
+				brs := store.NewBatchRouteScratch()
+				ref := store.NewRouteScratch()
+				return func(us, vs []graph.Node, out []bool) int {
+					sn := s.Snapshot()
+					if *target == "g" {
+						for i := range us {
+							out[i] = sn.ReachableOnG(ref, us[i], vs[i])
+						}
+					} else {
+						sn.BatchReachable(brs, us, vs, out)
+					}
+					if !verify {
+						return 0
+					}
+					mm := 0
+					for i := range us {
+						var want bool
+						if *target == "g" {
+							want = sn.Reachable(ref, us[i], vs[i])
+						} else {
+							want = sn.ReachableOnG(ref, us[i], vs[i])
+						}
+						if out[i] != want {
+							mm++
+						}
+					}
+					return mm
+				}
+			},
 			apply: func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
 			report: func(mismatches int64) {
 				st := s.Stats()
@@ -236,6 +288,43 @@ func cmdServe(args []string) {
 					return got, got != want
 				}
 			},
+			newBatchReader: func(verify bool) func(us, vs []graph.Node, out []bool) int {
+				bs := queries.NewBatchScratch(0)
+				ref := queries.NewBatchScratch(0)
+				var want []bool
+				return func(us, vs []graph.Node, out []bool) int {
+					sn := s.Snapshot()
+					switch *target {
+					case "g":
+						sn.BatchReachableOnG(bs, us, vs, out)
+					case "hop2":
+						for i := range us {
+							out[i] = sn.ReachableHop2(us[i], vs[i])
+						}
+					default:
+						sn.BatchReachable(bs, us, vs, out)
+					}
+					if !verify {
+						return 0
+					}
+					if cap(want) < len(us) {
+						want = make([]bool, len(us))
+					}
+					want = want[:len(us)]
+					if *target == "g" {
+						sn.BatchReachable(ref, us, vs, want)
+					} else {
+						sn.BatchReachableOnG(ref, us, vs, want)
+					}
+					mm := 0
+					for i := range us {
+						if out[i] != want[i] {
+							mm++
+						}
+					}
+					return mm
+				}
+			},
 			apply: func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
 			report: func(mismatches int64) {
 				st := s.Stats()
@@ -252,17 +341,22 @@ func cmdServe(args []string) {
 			},
 		}
 	}
-	runServe(backend, ops, *readers, *batch, shardCount, *target, *verify)
+	stopProf := startCPUProfile(*cpuprofile)
+	runServe(backend, ops, *readers, *wbatch, *qbatch, shardCount, *target, *verify)
+	stopProf()
+	writeMemProfile(*memprofile)
 }
 
 // runServe is the store-agnostic drive loop: it splits the workload stream
 // (updates keep their order and are grouped into batches on one writer;
 // queries fan out to the readers), measures per-query latency, and prints
 // the throughput/latency report before delegating the store-specific
-// summary to the backend. SIGINT/SIGTERM stop the feed; the report for
-// everything served so far is printed before returning, so an interrupted
-// run never loses its results.
-func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, target string, verify bool) {
+// summary to the backend. With qbatch > 1 each reader coalesces up to
+// qbatch queued queries into one vectorized read on a single pinned
+// snapshot, and the latency line reports per-BATCH times. SIGINT/SIGTERM
+// stop the feed; the report for everything served so far is printed before
+// returning, so an interrupted run never loses its results.
+func runServe(b serveBackend, ops []gen.Op, readers, batchSize, qbatch, shards int, target string, verify bool) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -278,6 +372,7 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, targ
 	}
 
 	var reached, mismatches atomic.Int64
+	var servedBatches atomic.Int64
 	latencies := make([][]time.Duration, readers)
 	var wg sync.WaitGroup
 	wg.Add(readers)
@@ -285,16 +380,53 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, shards int, targ
 	for r := 0; r < readers; r++ {
 		go func(r int) {
 			defer wg.Done()
-			answer := b.newReader(verify)
-			for op := range queryCh {
-				t0 := time.Now()
-				got, mismatch := answer(op.U, op.V)
-				latencies[r] = append(latencies[r], time.Since(t0))
-				if got {
-					reached.Add(1)
+			if qbatch <= 1 {
+				answer := b.newReader(verify)
+				for op := range queryCh {
+					t0 := time.Now()
+					got, mismatch := answer(op.U, op.V)
+					latencies[r] = append(latencies[r], time.Since(t0))
+					if got {
+						reached.Add(1)
+					}
+					if mismatch {
+						mismatches.Add(1)
+					}
 				}
-				if mismatch {
-					mismatches.Add(1)
+				return
+			}
+			answer := b.newBatchReader(verify)
+			us := make([]graph.Node, 0, qbatch)
+			vs := make([]graph.Node, 0, qbatch)
+			out := make([]bool, qbatch)
+			for op := range queryCh {
+				us = append(us[:0], op.U)
+				vs = append(vs[:0], op.V)
+				// Coalesce whatever is already queued, up to qbatch.
+			fill:
+				for len(us) < qbatch {
+					select {
+					case op2, ok := <-queryCh:
+						if !ok {
+							break fill
+						}
+						us = append(us, op2.U)
+						vs = append(vs, op2.V)
+					default:
+						break fill
+					}
+				}
+				t0 := time.Now()
+				mm := answer(us, vs, out[:len(us)])
+				latencies[r] = append(latencies[r], time.Since(t0))
+				servedBatches.Add(1)
+				for i := range us {
+					if out[i] {
+						reached.Add(1)
+					}
+				}
+				if mm > 0 {
+					mismatches.Add(int64(mm))
 				}
 			}
 		}(r)
@@ -361,7 +493,17 @@ feed:
 	fmt.Printf("served %d queries on %q with %d readers, %d shard(s) in %v (%.0f q/s)\n",
 		nq, target, readers, shards, readElapsed.Round(time.Millisecond),
 		float64(nq)/readElapsed.Seconds())
-	fmt.Printf("latency p50 %v  p99 %v  max %v\n", pctl(0.50), pctl(0.99), pctl(1.0))
+	if qbatch > 1 {
+		nb := servedBatches.Load()
+		mean := 0.0
+		if nb > 0 {
+			mean = float64(nq) / float64(nb)
+		}
+		fmt.Printf("batched reads (-batch %d): %d batches, mean size %.1f\n", qbatch, nb, mean)
+		fmt.Printf("batch latency p50 %v  p99 %v  max %v\n", pctl(0.50), pctl(0.99), pctl(1.0))
+	} else {
+		fmt.Printf("latency p50 %v  p99 %v  max %v\n", pctl(0.50), pctl(0.99), pctl(1.0))
+	}
 	fmt.Printf("writer: %d batches in %v\n", epochs, elapsed.Round(time.Millisecond))
 	fmt.Printf("reachable answers: %d/%d\n", reached.Load(), nq)
 	b.report(mismatches.Load())

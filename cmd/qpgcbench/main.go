@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/profutil"
 )
 
 // jsonRecord is the machine-readable form of one experiment's result.
@@ -116,8 +117,36 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for non-timing sweeps (0 = GOMAXPROCS)")
 		jsonPath = flag.String("json", "", "also write machine-readable results to this path")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	stopCPU, err := profutil.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qpgcbench: %v\n", err)
+		os.Exit(1)
+	}
+	// LIFO: the heap profile is written first, then the CPU profile is
+	// finalized, and neither error path can skip the other.
+	defer func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintf(os.Stderr, "qpgcbench: cpu profile: %v\n", err)
+			return
+		}
+		if *cpuProf != "" {
+			fmt.Fprintf(os.Stderr, "qpgcbench: wrote CPU profile to %s\n", *cpuProf)
+		}
+	}()
+	defer func() {
+		if err := profutil.WriteHeap(*memProf); err != nil {
+			fmt.Fprintf(os.Stderr, "qpgcbench: heap profile: %v\n", err)
+			return
+		}
+		if *memProf != "" {
+			fmt.Fprintf(os.Stderr, "qpgcbench: wrote heap profile to %s\n", *memProf)
+		}
+	}()
 
 	if *list {
 		for _, e := range harness.Experiments() {

@@ -131,14 +131,40 @@ func (s *Set) CopyFrom(t *Set) {
 // ForEach calls fn for every set bit in ascending order. If fn returns
 // false, iteration stops early.
 func (s *Set) ForEach(fn func(i int) bool) {
-	for wi, w := range s.words {
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
-			if !fn(wi*wordBits + b) {
-				return
-			}
-			w &= w - 1
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		if !fn(i) {
+			return
 		}
+	}
+}
+
+// NextSet returns the index of the first set bit at or after i, and whether
+// one exists. Iterating with NextSet(i+1) visits every set bit in ascending
+// order without re-scanning the prefix the caller already consumed, unlike a
+// Has-probe loop from zero:
+//
+//	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) { ... }
+//
+// A start index at or beyond the capacity reports no bit.
+func (s *Set) NextSet(i int) (int, bool) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return 0, false
+	}
+	wi := i / wordBits
+	// Mask off the bits below i in the first word, then scan whole words.
+	w := s.words[wi] &^ (1<<uint(i%wordBits) - 1)
+	for {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w), true
+		}
+		wi++
+		if wi >= len(s.words) {
+			return 0, false
+		}
+		w = s.words[wi]
 	}
 }
 

@@ -222,3 +222,66 @@ func TestCountMatchesBits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	if _, ok := s.NextSet(0); ok {
+		t.Fatal("empty set reported a bit")
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 130, 199} {
+		s.Set(i)
+	}
+	want := []int{0, 1, 63, 64, 65, 130, 199}
+	var got []int
+	for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	// Mid-word starts land on the bit itself or the next one.
+	if i, ok := s.NextSet(63); !ok || i != 63 {
+		t.Fatalf("NextSet(63) = %d,%v", i, ok)
+	}
+	if i, ok := s.NextSet(66); !ok || i != 130 {
+		t.Fatalf("NextSet(66) = %d,%v", i, ok)
+	}
+	if _, ok := s.NextSet(200); ok {
+		t.Fatal("NextSet past capacity reported a bit")
+	}
+	if i, ok := s.NextSet(-5); !ok || i != 0 {
+		t.Fatalf("NextSet(-5) = %d,%v", i, ok)
+	}
+}
+
+func TestNextSetMatchesBits(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(300)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 100; i++ {
+			s.Set(rng.Intn(300))
+		}
+		want := s.Bits()
+		var got []int
+		for i, ok := s.NextSet(0); ok; i, ok = s.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// batchDatasets are the four topologies of the batch sweep: the collapsed
+// social quotient (the headline serving regime), two hub-heavy graphs with
+// small quotients, and the deep citation DAG as the adversarial case —
+// its quotient stays large and random query cones barely overlap, so it
+// bounds how far lane-sharing can amortize.
+var batchDatasets = []string{"socEpinions", "Youtube", "wikiTalk", "citHepTh"}
+
+// batchSizes is the batch-size axis of the sweep.
+var batchSizes = []int{8, 64}
+
+// batchRounds repeats the whole query set per measurement so each cell is
+// a sustained-throughput average, not a single pass.
+const batchRounds = 40
+
+// ExpBatch measures the vectorized batch read path against the scalar one
+// through the STORE-LEVEL serving APIs — the comparison that matters for
+// the serve pipeline: a scalar read pays a snapshot load, a scratch-pool
+// round trip and a stats update per query, while a batched read pins one
+// epoch and pays them once per wave, then answers all lanes in one
+// lane-mask sweep over the topologically reordered quotient. Columns
+// report aggregate sustained queries/sec on the compressed graph Gr
+// (Store.Reachable vs Store.BatchReachable) and on the reordered
+// uncompressed G (Store.ReachableOnG vs Store.BatchReachableOnG). The
+// headline column is the Gr ratio at batch=64 (the PR's target: >= 4x on
+// most topologies; the citation DAG documents the honest limit).
+func ExpBatch(cfg Config) *Table {
+	t := &Table{
+		ID:    "batch",
+		Title: "Batched (64-lane) vs scalar reachability throughput (store)",
+		Header: []string{"dataset", "batch", "scalar G q/s", "batch G q/s",
+			"scalar Gr q/s", "batch Gr q/s", "Gr batch/scalar"},
+		Notes: []string{
+			"store-level serving APIs; batch pins ONE snapshot per wave and answers",
+			"all lanes in one lane-mask sweep (queries.BatchReachableTopo on Gr)",
+			"sustained average over repeated passes of the same query set",
+			"expectation: batch=64 on Gr >= 4x scalar on Gr except deep-DAG quotients",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	for _, name := range batchDatasets {
+		d, _ := gen.DatasetByName(name)
+		d = d.Scale(cfg.Scale)
+		g := d.Build(cfg.Seed)
+		n := g.NumNodes()
+		// Enough pairs for stable timing: at least 4 full 64-lane waves.
+		np := cfg.Pairs
+		if np < 256 {
+			np = 256
+		}
+		np -= np % 64 // whole waves, so every batch size divides evenly
+		us := make([]graph.Node, np)
+		vs := make([]graph.Node, np)
+		for i := range us {
+			us[i] = graph.Node(rng.Intn(n))
+			vs[i] = graph.Node(rng.Intn(n))
+		}
+
+		s, err := store.Open(g, nil) // in-memory: cannot fail
+		if err != nil {
+			panic(err)
+		}
+		sustained := func(fn func()) time.Duration {
+			fn() // warm the scratch pools and caches
+			total := timeIt(func() {
+				for r := 0; r < batchRounds; r++ {
+					fn()
+				}
+			})
+			return total / batchRounds
+		}
+		scalarGr := sustained(func() {
+			for i := range us {
+				s.Reachable(us[i], vs[i])
+			}
+		})
+		scalarG := sustained(func() {
+			for i := range us {
+				s.ReachableOnG(us[i], vs[i])
+			}
+		})
+		qps := func(d time.Duration) float64 { return float64(np) / d.Seconds() }
+		for _, b := range batchSizes {
+			batchGr := sustained(func() {
+				for off := 0; off < np; off += b {
+					s.BatchReachable(us[off:off+b], vs[off:off+b])
+				}
+			})
+			batchG := sustained(func() {
+				for off := 0; off < np; off += b {
+					s.BatchReachableOnG(us[off:off+b], vs[off:off+b])
+				}
+			})
+			t.Rows = append(t.Rows, []string{
+				name,
+				fmt.Sprintf("%d", b),
+				fmt.Sprintf("%.0f", qps(scalarG)),
+				fmt.Sprintf("%.0f", qps(batchG)),
+				fmt.Sprintf("%.0f", qps(scalarGr)),
+				fmt.Sprintf("%.0f", qps(batchGr)),
+				fmt.Sprintf("%.2fx", scalarGr.Seconds()/batchGr.Seconds()),
+			})
+		}
+		s.Close()
+	}
+	return t
+}

@@ -121,6 +121,7 @@ func Experiments() []Experiment {
 		{"fig12k", "PCr under densification (synthetic)", Fig12k},
 		{"fig12l", "PCr under power-law growth (real-life-like)", Fig12l},
 		{"serve", "Concurrent read throughput under a write stream (store)", ExpServe},
+		{"batch", "Batched (64-lane) vs scalar reachability throughput (store)", ExpBatch},
 		{"shard", "Sharded vs monolithic store: build, cut size, write throughput", ExpShard},
 		{"restart", "Durable store restart: cold rebuild vs snapshot load vs WAL replay", ExpRestart},
 	}

@@ -1,0 +1,47 @@
+// Package profutil holds the pprof plumbing shared by the qpgc and
+// qpgcbench binaries: both expose -cpuprofile/-memprofile so perf work
+// can capture data from the exact serving or experiment path, and both
+// must do the create/start/stop/close dance identically.
+package profutil
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile to path and returns the stop function,
+// which finishes the profile and closes the file. An empty path is a
+// no-op (the returned stop never fails then).
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap dumps an up-to-date heap profile to path; an empty path is a
+// no-op. It runs a GC first so the allocation statistics are current.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // materialize up-to-date allocation statistics
+	return pprof.WriteHeapProfile(f)
+}

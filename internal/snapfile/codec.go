@@ -13,6 +13,7 @@ import (
 // before touching the body.
 const (
 	tagLabels   = 0x0e0 // shared label table
+	tagGPerm    = 0x0f0 // monolithic: locality permutation of G (optional)
 	tagG        = 0x100
 	tagReachC   = 0x120
 	tagReachGr  = 0x140
@@ -38,6 +39,12 @@ type StoreParts struct {
 	Labels *graph.Labels
 	// G is the frozen original graph.
 	G *graph.CSR
+	// GPerm is the locality permutation of G (old id -> permuted id) whose
+	// applied form the store's uncompressed read path traverses; it
+	// round-trips so a recovered snapshot serves the exact layout it was
+	// checkpointed with. Nil when the snapshot carries none, in which case
+	// recovery recomputes a permutation.
+	GPerm []graph.Node
 	// ReachGr is the frozen reachability quotient R(G).
 	ReachGr *graph.CSR
 	// ReachClassOf maps every node of G to its reach class.
@@ -74,6 +81,12 @@ func encodeStore(p *StoreParts) *writer {
 	shared := p.G.Labels()
 	w.strings(tagLabels, shared.Names())
 	putCSR(w, tagG, p.G, shared)
+	if p.GPerm == nil {
+		w.u64(tagGPerm, 0)
+	} else {
+		w.u64(tagGPerm, 1)
+		w.int32s(tagGPerm+1, p.GPerm)
+	}
 	putCompressed(w, tagReachC, p.ReachClassOf, p.ReachMembers, p.ReachCyclic)
 	putCSR(w, tagReachGr, p.ReachGr, shared)
 	putIndex(w, tagReachIdx, p.ReachIndex)
@@ -106,6 +119,18 @@ func DecodeStore(data []byte) (*StoreParts, error) {
 		return nil, err
 	}
 	n := p.G.NumNodes()
+	permPresent, err := r.u64(tagGPerm)
+	if err != nil {
+		return nil, err
+	}
+	if permPresent != 0 {
+		if p.GPerm, err = r.int32s(tagGPerm + 1); err != nil {
+			return nil, err
+		}
+		if err = validatePerm(n, p.GPerm); err != nil {
+			return nil, err
+		}
+	}
 	if p.ReachClassOf, p.ReachMembers, p.ReachCyclic, err = readCompressed(r, tagReachC, true); err != nil {
 		return nil, err
 	}
@@ -480,6 +505,23 @@ func validateCompressed(what string, n, numClasses int, classOf []graph.Node, me
 				return fmt.Errorf("%w: %s class %d contains invalid node %d", ErrFormat, what, c, v)
 			}
 		}
+	}
+	return nil
+}
+
+// validatePerm checks that perm is a bijection on [0, n): exactly the
+// invariant graph.ApplyPerm would otherwise panic on, so a forged file
+// yields an error instead.
+func validatePerm(n int, perm []graph.Node) error {
+	if len(perm) != n {
+		return fmt.Errorf("%w: permutation covers %d of %d nodes", ErrFormat, len(perm), n)
+	}
+	seen := make([]bool, n)
+	for v, nv := range perm {
+		if int(nv) < 0 || int(nv) >= n || seen[nv] {
+			return fmt.Errorf("%w: permutation maps node %d to invalid/duplicate %d", ErrFormat, v, nv)
+		}
+		seen[nv] = true
 	}
 	return nil
 }

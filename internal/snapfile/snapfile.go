@@ -61,8 +61,11 @@ func (k Kind) String() string {
 	}
 }
 
+// version 2 added the optional locality-permutation block of G (tagGPerm)
+// to monolithic snapshots; version-1 files are rejected with a clear error
+// rather than recovered without their reordered view.
 const (
-	version     = 1
+	version     = 2
 	headerSize  = 48
 	blockHeader = 16
 )

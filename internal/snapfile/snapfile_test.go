@@ -23,6 +23,7 @@ func buildStoreParts(g *graph.Graph, epoch uint64, indexes bool) *StoreParts {
 	p := &StoreParts{
 		Epoch:          epoch,
 		G:              csr,
+		GPerm:          graph.ReorderPerm(csr),
 		ReachGr:        rc.Gr.Freeze(),
 		ReachClassOf:   rc.ClassMap(),
 		ReachMembers:   rc.Members,

@@ -1,0 +1,363 @@
+// Batched (vectorized) read path for both stores: up to 64 reachability
+// queries are answered by ONE lane-mask BFS (internal/queries/batch.go)
+// instead of 64 traversals, and larger batches chunk into 64-lane waves
+// that all run against a single pinned snapshot — one epoch for the whole
+// batch, so a batch is never torn across concurrent writes.
+//
+// On the sharded store the batching goes one level further: instead of one
+// summary-hop per query, a wave does one lane BFS per TOUCHED SHARD for the
+// local collections (forward descendants of every source in that shard,
+// backward ancestors of every target) and then a single lane BFS over the
+// boundary summary graph carrying all still-unresolved lanes at once.
+package store
+
+import (
+	"math/bits"
+	"slices"
+
+	"repro/internal/graph"
+	"repro/internal/queries"
+)
+
+// BatchReachable answers QR(us[i], vs[i]) for every i on this snapshot's
+// compressed graph, chunking into waves of queries.MaxBatch lanes. Answers
+// are identical to len(us) scalar Reachable calls on the same snapshot.
+//
+// The topological relabeling of the published quotient (reorderReach) is
+// what makes the wave cheap: after the O(1) rewrite through R, a query
+// whose target class precedes its source class is false outright, a query
+// within one class is the class's cyclic flag, and only the remaining
+// lanes — sources strictly below targets in topological order — enter the
+// one-pass lane sweep of queries.BatchReachableTopo.
+func (sn *Snapshot) BatchReachable(bs *queries.BatchScratch, us, vs []graph.Node, out []bool) {
+	checkBatchArgs(len(us), len(vs), len(out))
+	rc := sn.Reach.Compressed
+	gr := sn.Reach.Gr
+	cyc := rc.CyclicClass
+	var ru, rv [queries.MaxBatch]graph.Node
+	var idx [queries.MaxBatch]int
+	var lout [queries.MaxBatch]bool
+	for off := 0; off < len(us); off += queries.MaxBatch {
+		end := min(off+queries.MaxBatch, len(us))
+		nl := 0
+		for i := off; i < end; i++ {
+			cu, cv := rc.Rewrite(us[i], vs[i])
+			if cv < cu {
+				out[i] = false
+				continue
+			}
+			if cu == cv {
+				out[i] = cyc[cu]
+				continue
+			}
+			ru[nl], rv[nl] = cu, cv
+			idx[nl] = i
+			nl++
+		}
+		if nl == 0 {
+			continue
+		}
+		queries.BatchReachableTopo(gr, bs, ru[:nl], rv[:nl], lout[:nl])
+		for j := 0; j < nl; j++ {
+			out[idx[j]] = lout[j]
+		}
+	}
+}
+
+// BatchReachableOnG is BatchReachable over the uncompressed (but
+// locality-reordered) snapshot of G — the baseline the compressed batch
+// path is measured against, and the verification path of serve -batch.
+func (sn *Snapshot) BatchReachableOnG(bs *queries.BatchScratch, us, vs []graph.Node, out []bool) {
+	checkBatchArgs(len(us), len(vs), len(out))
+	ro := sn.GOrd()
+	var ru, rv [queries.MaxBatch]graph.Node
+	for off := 0; off < len(us); off += queries.MaxBatch {
+		end := min(off+queries.MaxBatch, len(us))
+		k := end - off
+		for i := 0; i < k; i++ {
+			ru[i], rv[i] = ro.ToNew(us[off+i]), ro.ToNew(vs[off+i])
+		}
+		queries.BatchReachable(ro.C, bs, ru[:k], rv[:k], out[off:end])
+	}
+}
+
+// BatchDescendants computes, for every source, the set of G-nodes
+// reachable from it by a nonempty path — identical to queries.Descendants
+// on G — in one lane BFS per 64-source wave over the small quotient: a
+// reached class contributes all its members to every lane that reached it.
+// Rows are freshly allocated and sorted ascending.
+func (sn *Snapshot) BatchDescendants(bs *queries.BatchScratch, us []graph.Node) [][]graph.Node {
+	rc := sn.Reach.Compressed
+	gr := sn.Reach.Gr
+	out := make([][]graph.Node, len(us))
+	for off := 0; off < len(us); off += queries.MaxBatch {
+		end := min(off+queries.MaxBatch, len(us))
+		bs.Begin(gr.NumNodes())
+		for i := off; i < end; i++ {
+			bs.Seed(rc.ClassOf(us[i]), 1<<uint(i-off))
+		}
+		bs.RunForward(gr)
+		for _, cls := range bs.Reached() {
+			m := bs.Lanes(cls)
+			members := rc.Members[cls]
+			for m != 0 {
+				i := off + bits.TrailingZeros64(m)
+				out[i] = append(out[i], members...)
+				m &= m - 1
+			}
+		}
+	}
+	for i := range out {
+		slices.Sort(out[i])
+	}
+	return out
+}
+
+// BatchReachable answers the batch on the current snapshot, pinning one
+// epoch for all queries. Safe for any number of concurrent callers, also
+// during ApplyBatch.
+func (s *Store) BatchReachable(us, vs []graph.Node) []bool {
+	s.reads.Add(uint64(len(us)))
+	out := make([]bool, len(us))
+	bs := s.getBatchScratch()
+	s.Snapshot().BatchReachable(bs, us, vs, out)
+	s.bscratch.Put(bs)
+	return out
+}
+
+// BatchReachableOnG answers the batch on the current snapshot's
+// uncompressed graph — the baseline path.
+func (s *Store) BatchReachableOnG(us, vs []graph.Node) []bool {
+	s.reads.Add(uint64(len(us)))
+	out := make([]bool, len(us))
+	bs := s.getBatchScratch()
+	s.Snapshot().BatchReachableOnG(bs, us, vs, out)
+	s.bscratch.Put(bs)
+	return out
+}
+
+// BatchDescendants computes every source's descendant set on the current
+// snapshot, one epoch for the whole batch.
+func (s *Store) BatchDescendants(us []graph.Node) [][]graph.Node {
+	s.reads.Add(uint64(len(us)))
+	bs := s.getBatchScratch()
+	out := s.Snapshot().BatchDescendants(bs, us)
+	s.bscratch.Put(bs)
+	return out
+}
+
+// getBatchScratch pools lane-BFS scratch across readers.
+func (s *Store) getBatchScratch() *queries.BatchScratch {
+	if v := s.bscratch.Get(); v != nil {
+		return v.(*queries.BatchScratch)
+	}
+	return queries.NewBatchScratch(0)
+}
+
+// checkBatchArgs validates the parallel-slice contract of the batch APIs.
+func checkBatchArgs(nu, nv, nout int) {
+	if nv != nu || nout < nu {
+		panic("store: batch query us/vs/out length mismatch")
+	}
+}
+
+// BatchRouteScratch is reusable traversal state for batched reads against
+// a ShardedSnapshot: one lane-BFS scratch for the per-shard local
+// collections and one for the summary hop. Owned by one goroutine at a
+// time; all state grows on demand.
+type BatchRouteScratch struct {
+	local *queries.BatchScratch
+	sum   *queries.BatchScratch
+}
+
+// NewBatchRouteScratch returns an empty scratch.
+func NewBatchRouteScratch() *BatchRouteScratch {
+	return &BatchRouteScratch{
+		local: queries.NewBatchScratch(0),
+		sum:   queries.NewBatchScratch(0),
+	}
+}
+
+// BatchReachable answers QR(us[i], vs[i]) for every i on the sharded
+// snapshot, identically to scalar Reachable, in 64-lane waves. Per wave,
+// same-shard pairs are first answered by the shard's local read path (the
+// 2-hop index when present, otherwise one local lane BFS per touched
+// shard); every remaining lane is routed with one forward and one backward
+// local lane BFS per touched shard and a SINGLE multi-lane hop over the
+// boundary summary — batch size many summary traversals collapse into one.
+func (sn *ShardedSnapshot) BatchReachable(brs *BatchRouteScratch, us, vs []graph.Node, out []bool) {
+	checkBatchArgs(len(us), len(vs), len(out))
+	for off := 0; off < len(us); off += queries.MaxBatch {
+		end := min(off+queries.MaxBatch, len(us))
+		sn.batchWave(brs, us[off:end], vs[off:end], out[off:end])
+	}
+}
+
+// batchWave answers one wave of at most 64 queries.
+func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node, out []bool) {
+	p := sn.p
+	k := len(us)
+	nshards := len(sn.Shards)
+	var active uint64 // lanes not yet answered true locally
+
+	// Phase A: same-shard fast path. Indexed shards answer per lane in
+	// O(1)-ish; unindexed shards share one local lane BFS. A same-shard
+	// miss stays active: a path leaving and re-entering the shard may
+	// still exist.
+	for i := 0; i < k; i++ {
+		out[i] = false
+		su, sv := p.ShardOf[us[i]], p.ShardOf[vs[i]]
+		if su == sv {
+			sh := &sn.Shards[su]
+			cu, cv := sh.Reach.Compressed.Rewrite(p.LocalID[us[i]], p.LocalID[vs[i]])
+			// Topo-order prefilter on the shard quotient: a same-class
+			// pair is the class's cyclic flag; a backward pair cannot be
+			// locally reachable (but may still route through the summary).
+			if cu == cv {
+				if sh.Reach.Compressed.CyclicClass[cu] {
+					out[i] = true
+					continue
+				}
+			} else if cu < cv && sh.Reach.Index != nil {
+				if sh.Reach.Index.Reachable(cu, cv) {
+					out[i] = true
+					continue
+				}
+			}
+		}
+		active |= 1 << uint(i)
+	}
+	for s := 0; s < nshards; s++ {
+		sh := &sn.Shards[s]
+		if sh.Reach.Index != nil {
+			continue // already answered above
+		}
+		var lanes uint64
+		for i := 0; i < k; i++ {
+			if active>>uint(i)&1 != 0 && p.ShardOf[us[i]] == int32(s) && p.ShardOf[vs[i]] == int32(s) {
+				lanes |= 1 << uint(i)
+			}
+		}
+		if lanes == 0 {
+			continue
+		}
+		var ru, rv [queries.MaxBatch]graph.Node
+		var idx [queries.MaxBatch]int
+		var lout [queries.MaxBatch]bool
+		nl := 0
+		for i := 0; i < k; i++ {
+			if lanes>>uint(i)&1 != 0 {
+				ru[nl], rv[nl] = sh.Reach.Compressed.Rewrite(p.LocalID[us[i]], p.LocalID[vs[i]])
+				idx[nl] = i
+				nl++
+			}
+		}
+		queries.BatchReachableTopo(sh.Reach.Gr, brs.local, ru[:nl], rv[:nl], lout[:nl])
+		for j := 0; j < nl; j++ {
+			if lout[j] {
+				out[idx[j]] = true
+				active &^= 1 << uint(idx[j])
+			}
+		}
+	}
+	if active == 0 || sn.Summary.NumBoundary() == 0 {
+		return
+	}
+
+	// Phases B+C seed one summary-wide lane BFS: forward local descendants
+	// per source shard become summary sources, backward local ancestors
+	// per target shard become summary targets, exactly mirroring the
+	// scalar route's collection steps (a source/target that is itself a
+	// boundary node joins its side directly).
+	brs.sum.Begin(sn.Summary.S.NumNodes())
+	for s := 0; s < nshards; s++ {
+		sh := &sn.Shards[s]
+		var lanes uint64
+		for i := 0; i < k; i++ {
+			if active>>uint(i)&1 != 0 && p.ShardOf[us[i]] == int32(s) {
+				lanes |= 1 << uint(i)
+			}
+		}
+		if lanes == 0 {
+			continue
+		}
+		brs.local.Begin(sh.Reach.Gr.NumNodes())
+		for i := 0; i < k; i++ {
+			if lanes>>uint(i)&1 != 0 {
+				brs.local.Seed(sh.Reach.Compressed.ClassOf(p.LocalID[us[i]]), 1<<uint(i))
+			}
+		}
+		brs.local.RunForward(sh.Reach.Gr)
+		for _, cls := range brs.local.Reached() {
+			m := brs.local.Lanes(cls)
+			for _, id := range sh.byClass[cls] {
+				brs.sum.Seed(id, m)
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		if active>>uint(i)&1 != 0 {
+			if id := sn.Summary.SumID(us[i]); id >= 0 {
+				brs.sum.Seed(id, 1<<uint(i))
+			}
+		}
+	}
+	for s := 0; s < nshards; s++ {
+		sh := &sn.Shards[s]
+		var lanes uint64
+		for i := 0; i < k; i++ {
+			if active>>uint(i)&1 != 0 && p.ShardOf[vs[i]] == int32(s) {
+				lanes |= 1 << uint(i)
+			}
+		}
+		if lanes == 0 {
+			continue
+		}
+		brs.local.Begin(sh.Reach.Gr.NumNodes())
+		for i := 0; i < k; i++ {
+			if lanes>>uint(i)&1 != 0 {
+				brs.local.Seed(sh.Reach.Compressed.ClassOf(p.LocalID[vs[i]]), 1<<uint(i))
+			}
+		}
+		brs.local.RunBackward(sh.Reach.Gr)
+		for _, cls := range brs.local.Reached() {
+			m := brs.local.Lanes(cls)
+			for _, id := range sh.byClass[cls] {
+				brs.sum.Target(id, m)
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		if active>>uint(i)&1 != 0 {
+			if id := sn.Summary.SumID(vs[i]); id >= 0 {
+				brs.sum.Target(id, 1<<uint(i))
+			}
+		}
+	}
+
+	// Phase D: one summary hop for every still-active lane.
+	done := brs.sum.RunForward(sn.Summary.S)
+	for m := done & active; m != 0; m &= m - 1 {
+		out[bits.TrailingZeros64(m)] = true
+	}
+}
+
+// BatchReachable answers the batch on the current snapshot via the sharded
+// batched route, pinning one epoch for all queries. Safe for any number of
+// concurrent callers, also during ApplyBatch.
+func (s *ShardedStore) BatchReachable(us, vs []graph.Node) []bool {
+	s.reads.Add(uint64(len(us)))
+	out := make([]bool, len(us))
+	brs := s.getBatchScratch()
+	s.Snapshot().BatchReachable(brs, us, vs, out)
+	s.bscratch.Put(brs)
+	return out
+}
+
+// getBatchScratch pools batched-routing scratch across readers.
+func (s *ShardedStore) getBatchScratch() *BatchRouteScratch {
+	if v := s.bscratch.Get(); v != nil {
+		return v.(*BatchRouteScratch)
+	}
+	return NewBatchRouteScratch()
+}

@@ -389,6 +389,11 @@ func (w *shardWorker) run() {
 			}
 			cached.g = rm.Graph().Freeze()
 			cached.rc, cached.rGr = rm.CompressedCSR()
+			// Locality pass: the shard's quotient is relabeled by its
+			// BFS-from-hubs permutation, baked into the class mapping so
+			// the routed read path and the boundary summary build see one
+			// consistent (permuted) id space.
+			cached.rc, cached.rGr = reorderReach(cached.rc, cached.rGr)
 			cached.part = pm.Partition()
 			cmd.view.dirty = true
 		}
@@ -429,8 +434,9 @@ type ShardedStore struct {
 	hopIdx        []*hop2.Index     // cached per-shard 2-hop indexes
 	views         []*shardEpochView // latest per-shard views
 
-	snap    atomic.Pointer[ShardedSnapshot]
-	scratch sync.Pool // *RouteScratch
+	snap     atomic.Pointer[ShardedSnapshot]
+	scratch  sync.Pool // *RouteScratch
+	bscratch sync.Pool // *BatchRouteScratch
 
 	reqs chan shardedApplyReq
 	idle chan struct{}

@@ -150,12 +150,41 @@ type Snapshot struct {
 	// Epoch counts applied batches: a snapshot with Epoch = k reflects
 	// exactly the first k batches accepted by the store.
 	Epoch uint64
-	// G is the frozen original graph at this epoch.
+	// G is the frozen original graph at this epoch, in public node ids.
 	G *graph.CSR
+
+	// gord caches the locality-reordered view of G, materialized on first
+	// use (GOrd); gperm, when non-nil, is a permutation recovered from a
+	// snapshot file that GOrd applies instead of recomputing.
+	gord  atomic.Pointer[graph.Reordered]
+	gperm []graph.Node
 	// Reach is the reachability-compressed read path.
 	Reach ReachView
 	// Pattern is the pattern-compressed read path.
 	Pattern PatternView
+}
+
+// GOrd returns the locality-reordered view of G: an isomorphic CSR whose
+// layout follows a BFS-from-hubs permutation, plus the old↔new id maps.
+// The uncompressed traversal paths (ReachableOnG and the batched forms)
+// rewrite their endpoints through it once per query; the maps never
+// appear in the traversal hot loop. The view is materialized lazily on
+// first use — the compressed hot path never needs it, so the writer does
+// not pay the O(|G| log |G|) reorder per published epoch — and is safe
+// for concurrent callers (a race computes it at most twice, identically).
+// See internal/graph/reorder.go.
+func (sn *Snapshot) GOrd() *graph.Reordered {
+	if ro := sn.gord.Load(); ro != nil {
+		return ro
+	}
+	var ro *graph.Reordered
+	if sn.gperm != nil {
+		ro = graph.ApplyPerm(sn.G, sn.gperm)
+	} else {
+		ro = graph.Reorder(sn.G)
+	}
+	sn.gord.CompareAndSwap(nil, ro)
+	return sn.gord.Load()
 }
 
 // Reachable answers QR(u,v) on the compressed graph: O(1) rewriting, then
@@ -168,8 +197,11 @@ func (sn *Snapshot) Reachable(s *queries.Scratch, u, v graph.Node) bool {
 
 // ReachableOnG answers QR(u,v) by bidirectional BFS over the uncompressed
 // snapshot of G — the baseline the compressed path is measured against.
+// The traversal runs on the locality-reordered layout after an O(1)
+// endpoint rewrite.
 func (sn *Snapshot) ReachableOnG(s *queries.Scratch, u, v graph.Node) bool {
-	return queries.ReachableBiCSR(sn.G, s, u, v)
+	ro := sn.GOrd()
+	return queries.ReachableBiCSR(ro.C, s, ro.ToNew(u), ro.ToNew(v))
 }
 
 // ReachableHop2 answers QR(u,v) from the snapshot's 2-hop labels over
@@ -262,8 +294,9 @@ type Store struct {
 
 	dur *durable // nil for in-memory stores
 
-	snap    atomic.Pointer[Snapshot]
-	scratch sync.Pool // *queries.Scratch
+	snap     atomic.Pointer[Snapshot]
+	scratch  sync.Pool // *queries.Scratch
+	bscratch sync.Pool // *queries.BatchScratch
 
 	reqs chan applyReq
 	idle chan struct{} // closed when the writer goroutine exits
@@ -365,6 +398,12 @@ func (s *Store) publish(epoch uint64) {
 	// content, so the pattern quotient can be rebuilt over the snapshot of
 	// G already frozen above instead of freezing a second time.
 	pc, pGr := s.pm.CompressedCSR(csrG)
+	// Locality pass: both quotients are relabeled by their locality
+	// permutation (baked into the class mappings, so queries need no
+	// translation); G's reordered traversal view is materialized lazily
+	// by GOrd, off the write path.
+	rc, rGr = reorderReach(rc, rGr)
+	pc, pGr = reorderPattern(pc, pGr)
 	sn := &Snapshot{
 		Epoch:   epoch,
 		G:       csrG,
@@ -466,6 +505,7 @@ func storeParts(sn *Snapshot) *snapfile.StoreParts {
 	return &snapfile.StoreParts{
 		Epoch:          sn.Epoch,
 		G:              sn.G,
+		GPerm:          sn.GOrd().NewID,
 		ReachGr:        sn.Reach.Gr,
 		ReachClassOf:   sn.Reach.Compressed.ClassMap(),
 		ReachMembers:   sn.Reach.Compressed.Members,
@@ -494,9 +534,14 @@ func recoverStore(o Options) (*Store, error) {
 		return nil, fmt.Errorf("store: snapshot %s is epoch %d, manifest says %d", d.manifestSnapshot, parts.Epoch, d.manifestEpoch)
 	}
 	o.Indexes = parts.ReachIndex != nil
+	// The locality permutation of G round-trips through the snapshot file:
+	// GOrd applies it instead of recomputing the numbering, so a recovered
+	// snapshot serves the exact layout it checkpointed. Older snapshots
+	// without one fall back to recomputing on first use.
 	sn := &Snapshot{
 		Epoch: parts.Epoch,
 		G:     parts.G,
+		gperm: parts.GPerm,
 		Reach: ReachView{
 			Gr:         parts.ReachGr,
 			Compressed: reach.AssembleCompressed(parts.ReachGr.Thaw(), parts.ReachClassOf, parts.ReachMembers, parts.ReachCyclic),

@@ -198,6 +198,56 @@ func HasStoreState(dir string) bool { return store.HasState(dir) }
 // queries; all state grows on demand.
 func NewRouteScratch() *RouteScratch { return store.NewRouteScratch() }
 
+// Vectorized batch reads. Up to MaxBatch reachability queries are answered
+// by one 64-lane bitset BFS instead of one traversal each; both store
+// kinds expose BatchReachable methods that pin a single snapshot epoch for
+// the whole batch (ShardedStore additionally batches the boundary
+// summary hop per shard rather than per query).
+type (
+	// BatchScratch is reusable lane-mask BFS state for the CSR-level batch
+	// query functions; one goroutine owns it at a time.
+	BatchScratch = queries.BatchScratch
+	// BatchRouteScratch is reusable state for batched reads against a
+	// ShardedSnapshot.
+	BatchRouteScratch = store.BatchRouteScratch
+	// ReorderedCSR couples a locality-permuted CSR snapshot with its
+	// old↔new id maps (see ReorderCSR).
+	ReorderedCSR = graph.Reordered
+)
+
+// MaxBatch is the lane capacity of the batch read path (one bit of a
+// 64-bit mask per query); larger batches chunk into waves transparently.
+const MaxBatch = queries.MaxBatch
+
+// NewBatchScratch returns batch traversal scratch pre-sized for an n-node
+// graph; scratches grow on demand.
+func NewBatchScratch(n int) *BatchScratch { return queries.NewBatchScratch(n) }
+
+// NewBatchRouteScratch returns empty batched-routing scratch for
+// ShardedSnapshot batch queries.
+func NewBatchRouteScratch() *BatchRouteScratch { return store.NewBatchRouteScratch() }
+
+// BatchReachableCSR answers up to MaxBatch reachability queries
+// QR(us[i], vs[i]) on a frozen snapshot in one bidirectional lane-mask
+// BFS, writing into out; answers equal len(us) scalar ReachableBiCSR calls.
+func BatchReachableCSR(c *CSR, bs *BatchScratch, us, vs []Node, out []bool) {
+	queries.BatchReachable(c, bs, us, vs, out)
+}
+
+// BatchDescendantsCSR computes the descendant sets of up to MaxBatch
+// sources in one lane-mask BFS over a frozen snapshot; row i lists, in
+// ascending order, every node reachable from us[i] by a nonempty path.
+func BatchDescendantsCSR(c *CSR, bs *BatchScratch, us []Node) [][]Node {
+	return queries.BatchDescendants(c, bs, us)
+}
+
+// ReorderCSR computes the locality permutation of a frozen snapshot (BFS
+// from high-out-degree hubs) and returns the permuted CSR with both id
+// maps. Store snapshots apply this to G and — in topological form — to the
+// published quotients automatically; the function is exported for callers
+// managing their own CSRs.
+func ReorderCSR(c *CSR) *ReorderedCSR { return graph.Reorder(c) }
+
 // TwoHopIndex is a 2-hop reachability labeling; build it over G or over a
 // compressed Gr (the paper's Fig. 12(d) point: indexes compose with
 // compression).
