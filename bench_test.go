@@ -446,7 +446,7 @@ func benchBatchStore(b *testing.B) (*store.Store, []graph.Node, []graph.Node) {
 		vs[i] = graph.Node(rng.Intn(n))
 	}
 	s, _ := store.Open(g, nil) // in-memory: cannot fail
-	b.Cleanup(s.Close)
+	b.Cleanup(func() { s.Close() })
 	return s, us, vs
 }
 

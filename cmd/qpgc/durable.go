@@ -4,6 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -148,6 +151,9 @@ func cmdRecover(args []string) {
 	}
 	fmt.Printf("manifest: %s store, checkpoint %s (epoch %d, %d bytes), WAL %d bytes in %d segment(s)\n",
 		displayKind(info.Kind), info.Snapshot, info.Epoch, info.SnapshotBytes, info.WALBytes, info.WALSegments)
+	for _, q := range info.Quarantined {
+		fmt.Printf("quarantined (corrupt, preserved by a prior scrub): %s\n", q)
+	}
 	start := time.Now()
 	r := openRecovered(*data)
 	defer r.close()
@@ -174,4 +180,100 @@ func cmdRecover(args []string) {
 		fatal(fmt.Errorf("verify: %d of %d sampled answers diverged on the recovered snapshot", mismatches, *pairs))
 	}
 	fmt.Printf("verify: %d sampled answers agree between the compressed and baseline paths\n", *pairs)
+}
+
+// cmdScrub verifies a durable directory's integrity. The default is an
+// offline walk: every snapshot and WAL segment is re-read and checked
+// against its stored CRC-32C sums without opening the store, reporting torn
+// tails (healable) separately from corrupt sealed state (data loss). With
+// -repair corrupt WAL segments are quarantined as *.quarantine — together
+// with every later segment, since replay must stop at the first hole — the
+// surviving prefix is recovered and folded into a fresh checkpoint, and the
+// lost suffix is reported explicitly. A corrupt current checkpoint is
+// beyond offline repair (the WAL before it was already truncated): the
+// in-memory copy the live scrubber repairs from no longer exists, so the
+// command refuses and points at a replica or backup.
+func cmdScrub(args []string) {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	data := fs.String("data", "", "durable store directory")
+	repair := fs.Bool("repair", false, "quarantine corrupt files, recover what survives, rewrite a clean checkpoint")
+	fs.Parse(args)
+	if *data == "" {
+		fatal(fmt.Errorf("scrub: -data is required"))
+	}
+	if !store.HasState(*data) {
+		fatal(fmt.Errorf("%s holds no durable store state (no MANIFEST)", *data))
+	}
+	rep, err := store.ScrubDir(*data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("checked %d file(s), %d bytes\n", rep.Checked, rep.Bytes)
+	if rep.Torn != "" {
+		fmt.Printf("torn WAL tail in %s: healable — the next open replays up to the tear and truncates it\n", rep.Torn)
+	}
+	for _, c := range rep.Corrupt {
+		fmt.Printf("CORRUPT: %s\n", c)
+	}
+	if !*repair {
+		if len(rep.Corrupt) > 0 {
+			fatal(fmt.Errorf("scrub: %d corrupt file(s); run qpgc scrub -repair -data %s to quarantine and re-checkpoint", len(rep.Corrupt), *data))
+		}
+		fmt.Println("clean: every checksum verified")
+		return
+	}
+	if len(rep.Corrupt) > 0 {
+		quarantineCorrupt(*data, rep.Corrupt)
+	}
+	r := openRecovered(*data)
+	defer r.close()
+	epoch, _ := r.epochNodes()
+	if err := r.checkpoint(); err != nil {
+		fatal(err)
+	}
+	if len(rep.Corrupt) == 0 {
+		fmt.Printf("clean: nothing to quarantine; state re-checkpointed at epoch %d\n", epoch)
+		return
+	}
+	fmt.Printf("repaired: recovered the surviving prefix and checkpointed it at epoch %d\n", epoch)
+	fmt.Printf("batches after epoch %d, if any were acked, are lost with the quarantined segments\n", epoch)
+}
+
+// quarantineCorrupt renames the corrupt files aside before recovery. A
+// corrupt WAL segment drags every later segment with it: replay cannot
+// skip a hole, so the recoverable state ends just before the first corrupt
+// record either way, and keeping the suffix would only fail the next open.
+func quarantineCorrupt(dir string, corrupt []string) {
+	info, err := store.Inspect(dir)
+	if err != nil {
+		fatal(err)
+	}
+	bad := make(map[string]bool, len(corrupt))
+	for _, c := range corrupt {
+		if c == info.Snapshot {
+			fatal(fmt.Errorf("the current checkpoint %s is corrupt and the WAL behind it was already truncated: no local copy of that state remains — restore %s from a replica or backup (the live scrubber, qpgc serve -scrub, repairs this case from memory before it is fatal)", c, dir))
+		}
+		bad[c] = true
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(segs)
+	first := -1
+	for i, s := range segs {
+		if bad[filepath.Base(s)] {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return
+	}
+	for _, s := range segs[first:] {
+		if err := os.Rename(s, s+".quarantine"); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("quarantined: %s (preserved as %s.quarantine)\n", filepath.Base(s), filepath.Base(s))
+	}
 }

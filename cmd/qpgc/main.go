@@ -11,6 +11,7 @@
 //	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify] [-data dir] [-sync always|none]
 //	qpgc checkpoint -data dir
 //	qpgc recover    -data dir [-verify] [-pairs n]
+//	qpgc scrub      -data dir [-repair]
 //
 // Graphs use the line-oriented text format of the library ("n id label",
 // "e src dst"). "reach" answers the query twice — by BFS over G and by BFS
@@ -31,6 +32,19 @@
 // "checkpoint" folds the WAL tail into a fresh snapshot so the next start
 // is a pure load. An interrupted serve (SIGINT/SIGTERM) still prints its
 // throughput/latency report for the portion that ran.
+//
+// The durable store self-heals: transient write faults are retried with
+// capped backoff, persistent ones degrade the store to read-only (writes
+// fail fast, reads keep serving the last published epoch) until a
+// background recovery loop re-arms the write path — serve rides through
+// such windows, stalling its write stream instead of losing it, and prints
+// a health report at shutdown. "scrub" re-verifies every snapshot and WAL
+// segment checksum offline, or with -repair quarantines corrupt files and
+// rewrites a clean checkpoint from the recovered state; serve -scrub runs
+// the same pass periodically inside the store. serve -faults injects a
+// deterministic fault schedule into the store's filesystem (see the rule
+// DSL in internal/faultfs: "enospc@120+40,sync@300+3%wal-") to demonstrate
+// exactly that machinery.
 package main
 
 import (
@@ -68,13 +82,15 @@ func main() {
 		cmdCheckpoint(os.Args[2:])
 	case "recover":
 		cmdRecover(os.Args[2:])
+	case "scrub":
+		cmdScrub(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|checkpoint|recover> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|checkpoint|recover|scrub> [flags]")
 	os.Exit(2)
 }
 

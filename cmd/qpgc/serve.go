@@ -13,6 +13,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/queries"
@@ -72,6 +73,10 @@ type serveBackend struct {
 	newBatchReader func(verify bool) func(us, vs []graph.Node, out []bool) (mismatches int)
 	apply          func(batch []graph.Update) error
 	report         func(mismatches int64)
+	// health is non-nil only for durable stores: the writer rides through
+	// degraded windows by stalling (the store self-heals) instead of
+	// dying, and the shutdown report includes the health summary.
+	health func() store.Health
 }
 
 // cmdServe drives a workload against a concurrent store: the write stream
@@ -96,6 +101,8 @@ func cmdServe(args []string) {
 	verify := fs.Bool("verify", false, "cross-check every answer against the same snapshot's G")
 	data := fs.String("data", "", "durable directory (snapshot checkpoints + WAL); existing state is recovered")
 	syncFlag := fs.String("sync", "always", "WAL fsync policy with -data: always|none")
+	faults := fs.String("faults", "", "fault-injection plan for the durable filesystem (e.g. \"enospc@120+40,sync@300+3%wal-\")")
+	scrubIvl := fs.Duration("scrub", 0, "background integrity-scrub interval with -data (0 = off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	fs.Parse(args)
@@ -119,6 +126,26 @@ func cmdServe(args []string) {
 		syncMode = store.SyncNone
 	default:
 		fatal(fmt.Errorf("serve: unknown -sync %q (want always or none)", *syncFlag))
+	}
+	var inject *faultfs.Inject
+	var storeFS faultfs.FS
+	if *faults != "" {
+		if *data == "" {
+			fatal(fmt.Errorf("serve: -faults injects into the durable filesystem and requires -data"))
+		}
+		rules, err := faultfs.ParsePlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		inject = faultfs.NewInject(faultfs.Disk, rules...)
+		storeFS = inject
+		fmt.Printf("fault injection armed: %s\n", *faults)
+	}
+	if *scrubIvl < 0 {
+		fatal(fmt.Errorf("serve: -scrub must be >= 0"))
+	}
+	if *scrubIvl > 0 && *data == "" {
+		fatal(fmt.Errorf("serve: -scrub verifies durable state and requires -data"))
 	}
 	wf, err := os.Open(*workload)
 	if err != nil {
@@ -174,6 +201,7 @@ func cmdServe(args []string) {
 		s, err := store.OpenSharded(g, &store.ShardedOptions{
 			Shards: *shards, Indexes: true,
 			Dir: *data, Sync: syncMode,
+			FS: storeFS, ScrubInterval: *scrubIvl,
 		})
 		if err != nil {
 			fatal(err)
@@ -181,6 +209,10 @@ func cmdServe(args []string) {
 		defer s.Close()
 		checkOps(s.Stats().Nodes)
 		shardCount = s.Stats().Shards
+		var health func() store.Health
+		if *data != "" {
+			health = s.Health
+		}
 		backend = serveBackend{
 			newReader: func(verify bool) func(u, v graph.Node) (got, mismatch bool) {
 				rs := store.NewRouteScratch()
@@ -235,7 +267,8 @@ func cmdServe(args []string) {
 					return mm
 				}
 			},
-			apply: func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
+			apply:  func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
+			health: health,
 			report: func(mismatches int64) {
 				st := s.Stats()
 				fmt.Printf("writer: epoch %d (%d updates, %d cross-shard edges at close)\n",
@@ -255,12 +288,17 @@ func cmdServe(args []string) {
 		s, err := store.Open(g, &store.Options{
 			Indexes: true,
 			Dir:     *data, Sync: syncMode,
+			FS: storeFS, ScrubInterval: *scrubIvl,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer s.Close()
 		checkOps(s.Stats().Nodes)
+		var health func() store.Health
+		if *data != "" {
+			health = s.Health
+		}
 		backend = serveBackend{
 			newReader: func(verify bool) func(u, v graph.Node) (got, mismatch bool) {
 				sc := queries.NewScratch(0)
@@ -325,7 +363,8 @@ func cmdServe(args []string) {
 					return mm
 				}
 			},
-			apply: func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
+			apply:  func(batch []graph.Update) error { _, err := s.ApplyBatch(batch); return err },
+			health: health,
 			report: func(mismatches int64) {
 				st := s.Stats()
 				fmt.Printf("writer: epoch %d (%d updates)\n", st.Epoch, st.Updates)
@@ -345,6 +384,9 @@ func cmdServe(args []string) {
 	runServe(backend, ops, *readers, *wbatch, *qbatch, shardCount, *target, *verify)
 	stopProf()
 	writeMemProfile(*memprofile)
+	if inject != nil {
+		fmt.Printf("faults: %d of the armed schedule fired\n", inject.Fired())
+	}
 }
 
 // runServe is the store-agnostic drive loop: it splits the workload stream
@@ -433,9 +475,13 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, qbatch, shards i
 	}
 
 	// Writer: batches in stream order, concurrent with the readers; an
-	// interrupt stops it at the next batch boundary.
+	// interrupt stops it at the next batch boundary. On a durable store a
+	// failed batch was NOT acked (nothing hit the WAL), so the writer
+	// keeps it and stalls until the store's recovery loop re-arms the
+	// write path — a transient fault window delays the stream instead of
+	// losing part of it.
 	writerDone := make(chan struct{})
-	var epochs int
+	var epochs, stalls int
 	go func() {
 		defer close(writerDone)
 		for len(updates) > 0 && ctx.Err() == nil {
@@ -444,7 +490,15 @@ func runServe(b serveBackend, ops []gen.Op, readers, batchSize, qbatch, shards i
 				n = len(updates)
 			}
 			if err := b.apply(updates[:n]); err != nil {
-				fatal(err)
+				if b.health == nil {
+					fatal(err)
+				}
+				stalls++
+				select {
+				case <-ctx.Done():
+				case <-time.After(10 * time.Millisecond):
+				}
+				continue
 			}
 			updates = updates[n:]
 			epochs++
@@ -505,6 +559,28 @@ feed:
 		fmt.Printf("latency p50 %v  p99 %v  max %v\n", pctl(0.50), pctl(0.99), pctl(1.0))
 	}
 	fmt.Printf("writer: %d batches in %v\n", epochs, elapsed.Round(time.Millisecond))
+	if stalls > 0 {
+		fmt.Printf("writer: stalled %d time(s) on a degraded store; every stalled batch was retried, none lost\n", stalls)
+	}
 	fmt.Printf("reachable answers: %d/%d\n", reached.Load(), nq)
 	b.report(mismatches.Load())
+	if b.health != nil {
+		h := b.health()
+		fmt.Printf("health: %s", h.State)
+		if h.Reason != "" {
+			fmt.Printf(" (%s)", h.Reason)
+		}
+		fmt.Printf("  write retries %d  degradations %d  recoveries %d\n",
+			h.Retries, h.Degradations, h.Recoveries)
+		if h.CheckpointError != "" {
+			fmt.Printf("health: unresolved checkpoint error: %s\n", h.CheckpointError)
+		}
+		if ls := h.LastScrub; ls.Checked > 0 || len(ls.Quarantined) > 0 {
+			fmt.Printf("scrubber: last pass verified %d file(s), %d bytes", ls.Checked, ls.Bytes)
+			if len(ls.Quarantined) > 0 {
+				fmt.Printf("; quarantined %v (repaired: %v)", ls.Quarantined, ls.Repaired)
+			}
+			fmt.Println()
+		}
+	}
 }

@@ -1,0 +1,112 @@
+package faultfs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the CLI fault-schedule DSL into rules. A plan is a
+// comma-separated list of rules of the form
+//
+//	kind@after[+count][%path]
+//
+// where kind names the fault, after skips that many matching operations
+// before the first fire, count bounds how many fire (omitted = every later
+// one), and path restricts the rule to files whose base name contains it.
+// Kinds:
+//
+//	sync      fsync fails
+//	write     write fails, nothing lands
+//	short     torn write: half the data lands, then the write fails
+//	enospc    write fails with ENOSPC
+//	rename    rename fails (destination never appears)
+//	read      read fails
+//	flip      read silently delivers one flipped bit
+//	open      open fails
+//	remove    remove fails
+//	truncate  truncate fails
+//
+// Example: "enospc@120+40,sync@300+3%wal-" injects a 40-write ENOSPC
+// window starting at the 120th write, plus 3 fsync failures on WAL
+// segments starting at the 300th WAL fsync.
+func ParsePlan(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultfs: empty fault plan %q", spec)
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	var r Rule
+	body := s
+	if i := strings.IndexByte(body, '%'); i >= 0 {
+		r.Path = body[i+1:]
+		body = body[:i]
+		if r.Path == "" {
+			return r, fmt.Errorf("faultfs: rule %q has an empty path filter", s)
+		}
+	}
+	kind := body
+	if i := strings.IndexByte(body, '@'); i >= 0 {
+		kind = body[:i]
+		window := body[i+1:]
+		count := ""
+		if j := strings.IndexByte(window, '+'); j >= 0 {
+			count = window[j+1:]
+			window = window[:j]
+		}
+		after, err := strconv.Atoi(window)
+		if err != nil || after < 0 {
+			return r, fmt.Errorf("faultfs: rule %q: bad after %q", s, window)
+		}
+		r.After = after
+		if count != "" {
+			c, err := strconv.Atoi(count)
+			if err != nil || c <= 0 {
+				return r, fmt.Errorf("faultfs: rule %q: bad count %q", s, count)
+			}
+			r.Count = c
+		}
+	}
+	switch kind {
+	case "sync":
+		r.Op = OpSync
+	case "write":
+		r.Op = OpWrite
+	case "short":
+		r.Op = OpWrite
+		r.ShortBy = -1
+	case "enospc":
+		r.Op = OpWrite
+		r.Err = ErrNoSpace
+	case "rename":
+		r.Op = OpRename
+	case "read":
+		r.Op = OpRead
+	case "flip":
+		r.Op = OpRead
+		r.Flip = true
+	case "open":
+		r.Op = OpOpen
+	case "remove":
+		r.Op = OpRemove
+	case "truncate":
+		r.Op = OpTruncate
+	default:
+		return r, fmt.Errorf("faultfs: rule %q: unknown fault kind %q", s, kind)
+	}
+	return r, nil
+}

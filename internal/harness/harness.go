@@ -124,6 +124,7 @@ func Experiments() []Experiment {
 		{"batch", "Batched (64-lane) vs scalar reachability throughput (store)", ExpBatch},
 		{"shard", "Sharded vs monolithic store: build, cut size, write throughput", ExpShard},
 		{"restart", "Durable store restart: cold rebuild vs snapshot load vs WAL replay", ExpRestart},
+		{"faults", "Self-healing under injected write faults: retry, degrade, recover", ExpFaults},
 	}
 }
 

@@ -3,6 +3,7 @@ package snapfile
 import (
 	"fmt"
 
+	"repro/internal/faultfs"
 	"repro/internal/graph"
 	"repro/internal/hop2"
 	"repro/internal/part"
@@ -73,7 +74,12 @@ func EncodeStore(p *StoreParts) []byte {
 
 // WriteStore atomically persists a monolithic snapshot to path.
 func WriteStore(path string, p *StoreParts) error {
-	return encodeStore(p).writeFile(path)
+	return WriteStoreFS(faultfs.Disk, path, p)
+}
+
+// WriteStoreFS is WriteStore over an explicit filesystem.
+func WriteStoreFS(fsys faultfs.FS, path string, p *StoreParts) error {
+	return encodeStore(p).writeFile(faultfs.Or(fsys), path)
 }
 
 func encodeStore(p *StoreParts) *writer {
@@ -160,7 +166,12 @@ func DecodeStore(data []byte) (*StoreParts, error) {
 
 // LoadStore reads and decodes a monolithic snapshot file.
 func LoadStore(path string) (*StoreParts, error) {
-	data, err := readFileAligned(path)
+	return LoadStoreFS(faultfs.Disk, path)
+}
+
+// LoadStoreFS is LoadStore over an explicit filesystem.
+func LoadStoreFS(fsys faultfs.FS, path string) (*StoreParts, error) {
+	data, err := readFileAligned(faultfs.Or(fsys), path)
 	if err != nil {
 		return nil, err
 	}
@@ -209,8 +220,12 @@ type ShardedParts struct {
 
 // WriteSharded atomically persists a sharded snapshot to path.
 func WriteSharded(path string, p *ShardedParts) error {
-	w := encodeSharded(p)
-	return w.writeFile(path)
+	return WriteShardedFS(faultfs.Disk, path, p)
+}
+
+// WriteShardedFS is WriteSharded over an explicit filesystem.
+func WriteShardedFS(fsys faultfs.FS, path string, p *ShardedParts) error {
+	return encodeSharded(p).writeFile(faultfs.Or(fsys), path)
 }
 
 // EncodeSharded serializes a sharded snapshot to its file image.
@@ -385,7 +400,12 @@ func DecodeSharded(data []byte) (*ShardedParts, error) {
 
 // LoadSharded reads and decodes a sharded snapshot file.
 func LoadSharded(path string) (*ShardedParts, error) {
-	data, err := readFileAligned(path)
+	return LoadShardedFS(faultfs.Disk, path)
+}
+
+// LoadShardedFS is LoadSharded over an explicit filesystem.
+func LoadShardedFS(fsys faultfs.FS, path string) (*ShardedParts, error) {
+	data, err := readFileAligned(faultfs.Or(fsys), path)
 	if err != nil {
 		return nil, err
 	}

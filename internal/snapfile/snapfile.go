@@ -37,6 +37,8 @@ import (
 	"io"
 	"os"
 	"unsafe"
+
+	"repro/internal/faultfs"
 )
 
 // Kind discriminates what a snapshot file holds.
@@ -205,30 +207,32 @@ func (w *writer) encode() []byte {
 }
 
 // writeFile persists the image atomically: temp file, fsync, rename,
-// directory fsync.
-func (w *writer) writeFile(path string) error {
+// directory fsync. A failure at any step leaves the destination untouched
+// (the temp file is removed best-effort), so a torn snapshot write can
+// never shadow the previous good snapshot.
+func (w *writer) writeFile(fsys faultfs.FS, path string) error {
 	data := w.encode()
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
 	return nil
@@ -430,16 +434,16 @@ func alignedBuf(size int) []byte {
 
 // readFileAligned reads a whole file into an 8-aligned buffer so the
 // zero-copy int32 views are correctly aligned.
-func readFileAligned(path string) ([]byte, error) {
-	f, err := os.Open(path)
+func readFileAligned(fsys faultfs.FS, path string) ([]byte, error) {
+	st, err := fsys.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
-	}
 	buf := alignedBuf(int(st.Size()))
 	if _, err := io.ReadFull(f, buf); err != nil {
 		return nil, err
@@ -447,10 +451,30 @@ func readFileAligned(path string) ([]byte, error) {
 	return buf, nil
 }
 
+// Verify re-reads the snapshot at path and checks its header and payload
+// checksums without decoding any blocks, returning the bytes read — the
+// scrubber's rate-accounting unit. Damage is reported wrapping ErrFormat.
+func Verify(path string) (int64, error) { return VerifyFS(faultfs.Disk, path) }
+
+// VerifyFS is Verify over an explicit filesystem.
+func VerifyFS(fsys faultfs.FS, path string) (int64, error) {
+	data, err := readFileAligned(fsys, path)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := open(data); err != nil {
+		return int64(len(data)), err
+	}
+	return int64(len(data)), nil
+}
+
 // PeekKind reads just the verified header of a snapshot file and returns
 // its kind and epoch, for manifest-less inspection.
-func PeekKind(path string) (Kind, uint64, error) {
-	f, err := os.Open(path)
+func PeekKind(path string) (Kind, uint64, error) { return PeekKindFS(faultfs.Disk, path) }
+
+// PeekKindFS is PeekKind over an explicit filesystem.
+func PeekKindFS(fsys faultfs.FS, path string) (Kind, uint64, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, 0, err
 	}

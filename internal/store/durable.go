@@ -10,7 +10,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultfs"
 	"repro/internal/graph"
 	"repro/internal/snapfile"
 	"repro/internal/wal"
@@ -25,14 +27,24 @@ const manifestName = "MANIFEST"
 
 // durable is the persistence half of a store: one directory holding
 // snapshot checkpoints, the MANIFEST pointing at the newest one, and the
-// write-ahead log segments.
+// write-ahead log segments. It also owns the self-healing machinery — the
+// health state machine, the recovery loop and the integrity scrubber — in
+// health.go.
 type durable struct {
 	dir  string
 	kind snapfile.Kind
+	fs   faultfs.FS
 
 	syncMode    SyncMode
 	ckptBatches uint64 // 0 disables the batch trigger
 	ckptBytes   int64  // 0 disables the byte trigger
+
+	retries          int           // in-place append/checkpoint retries before giving up
+	backoff          time.Duration // first retry's backoff; doubles per attempt, capped
+	recoveryInterval time.Duration // degraded-state probe cadence; 0 disables
+	scrubInterval    time.Duration // integrity scrub cadence; 0 disables
+	scrubRate        int64         // scrub IO budget, bytes/sec
+	segBytes         int64         // WAL segment rotation threshold; 0 = wal default
 
 	log *wal.Log // nil until openLog
 
@@ -41,47 +53,103 @@ type durable struct {
 	manifestEpoch    uint64
 	manifestSnapshot string
 
-	mu        sync.Mutex    // serializes checkpoints and the manifest swap
-	lastCkpt  atomic.Uint64 // epoch of the newest on-disk checkpoint
-	ckptEver  atomic.Bool   // false until the directory has any checkpoint
-	busy      atomic.Bool   // a background checkpoint is in flight
-	wg        sync.WaitGroup
-	failure   atomic.Value // error: first WAL failure; write path is dead
-	ckptError atomic.Value // error: last background checkpoint failure
+	mu       sync.Mutex    // serializes checkpoints and the manifest swap
+	lastCkpt atomic.Uint64 // epoch of the newest on-disk checkpoint
+	ckptEver atomic.Bool   // false until the directory has any checkpoint
+	busy     atomic.Bool   // a background checkpoint is in flight
+	wg       sync.WaitGroup
+
+	health       atomic.Int32 // HealthState; writer degrades, recovery re-arms
+	reason       atomic.Value // error: the degradation cause
+	writeRetries atomic.Uint64
+	degradations atomic.Uint64
+	recoveries   atomic.Uint64
+
+	scrubMu   sync.Mutex
+	lastScrub ScrubReport
+
+	stop chan struct{}  // closed by close(); stops the background loops
+	bgWg sync.WaitGroup // recovery + scrub goroutines
+
+	ckptError atomic.Value // errBox: outstanding background checkpoint failure
 	encBuf    []byte       // writer-goroutine-only batch encode scratch
 	closed    atomic.Bool
 }
 
-// initDurable prepares the directory and reads the manifest if present,
-// verifying it matches the store kind being opened.
-func initDurable(o Options, kind snapfile.Kind) (*durable, error) {
-	return newDurable(o.Dir, o.Sync, o.CheckpointBatches, o.CheckpointBytes, kind)
+// errBox wraps an error for atomic.Value, whose Store panics on nil and on
+// inconsistent concrete types.
+type errBox struct{ err error }
+
+// durableConfig is the durable layer's cut of a store's options, shared by
+// both option types.
+type durableConfig struct {
+	dir              string
+	sync             SyncMode
+	ckptBatches      int
+	ckptBytes        int64
+	fs               faultfs.FS
+	writeRetries     int
+	retryBackoff     time.Duration
+	recoveryInterval time.Duration
+	scrubInterval    time.Duration
+	scrubRate        int64
+	segBytes         int64
 }
 
-func newDurable(dir string, sync SyncMode, ckptBatches int, ckptBytes int64, kind snapfile.Kind) (*durable, error) {
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+func newDurable(cfg durableConfig, kind snapfile.Kind) (*durable, error) {
+	fsys := faultfs.Or(cfg.fs)
+	if err := fsys.MkdirAll(cfg.dir, 0o777); err != nil {
 		return nil, err
 	}
-	d := &durable{dir: dir, kind: kind, syncMode: sync}
+	d := &durable{
+		dir:       cfg.dir,
+		kind:      kind,
+		fs:        fsys,
+		syncMode:  cfg.sync,
+		stop:      make(chan struct{}),
+		scrubRate: cfg.scrubRate,
+		segBytes:  cfg.segBytes,
+	}
 	switch {
-	case ckptBatches == 0:
+	case cfg.ckptBatches == 0:
 		d.ckptBatches = 256
-	case ckptBatches > 0:
-		d.ckptBatches = uint64(ckptBatches)
+	case cfg.ckptBatches > 0:
+		d.ckptBatches = uint64(cfg.ckptBatches)
 	}
 	switch {
-	case ckptBytes == 0:
+	case cfg.ckptBytes == 0:
 		d.ckptBytes = 8 << 20
-	case ckptBytes > 0:
-		d.ckptBytes = ckptBytes
+	case cfg.ckptBytes > 0:
+		d.ckptBytes = cfg.ckptBytes
 	}
-	if HasState(dir) {
-		m, err := readManifest(dir)
+	switch {
+	case cfg.writeRetries == 0:
+		d.retries = defaultWriteRetries
+	case cfg.writeRetries > 0:
+		d.retries = cfg.writeRetries
+	}
+	switch {
+	case cfg.retryBackoff == 0:
+		d.backoff = defaultRetryBackoff
+	case cfg.retryBackoff > 0:
+		d.backoff = cfg.retryBackoff
+	}
+	switch {
+	case cfg.recoveryInterval == 0:
+		d.recoveryInterval = defaultRecoveryInterval
+	case cfg.recoveryInterval > 0:
+		d.recoveryInterval = cfg.recoveryInterval
+	}
+	if cfg.scrubInterval > 0 {
+		d.scrubInterval = cfg.scrubInterval
+	}
+	if HasState(cfg.dir) {
+		m, err := readManifest(cfg.dir)
 		if err != nil {
 			return nil, err
 		}
 		if m.kind != kind {
-			return nil, fmt.Errorf("store: %s holds a %v store; open it with the matching entry point", dir, m.kind)
+			return nil, fmt.Errorf("store: %s holds a %v store; open it with the matching entry point", cfg.dir, m.kind)
 		}
 		d.manifestEpoch = m.epoch
 		d.manifestSnapshot = m.snapshot
@@ -96,7 +164,7 @@ func (d *durable) snapshotPath() string { return filepath.Join(d.dir, d.manifest
 
 // openLog opens the WAL, creating it at nextSeq when empty.
 func (d *durable) openLog(nextSeq uint64) error {
-	l, err := wal.Open(d.dir, nextSeq, &wal.Options{Sync: d.syncMode})
+	l, err := wal.Open(d.dir, nextSeq, &wal.Options{Sync: d.syncMode, FS: d.fs, SegmentBytes: d.segBytes})
 	if err != nil {
 		return err
 	}
@@ -104,58 +172,81 @@ func (d *durable) openLog(nextSeq uint64) error {
 	return nil
 }
 
-// failedErr returns the sticky WAL failure, if any.
-func (d *durable) failedErr() error {
-	if err, ok := d.failure.Load().(error); ok {
-		return err
+// noteErr records the outcome of a background checkpoint: a failure is
+// sticky — surfaced by Health and returned by close — until a later
+// checkpoint succeeds and clears it.
+func (d *durable) noteErr(err error) {
+	d.ckptError.Store(errBox{err})
+}
+
+// ckptErr returns the outstanding background checkpoint failure, if any.
+func (d *durable) ckptErr() error {
+	if b, ok := d.ckptError.Load().(errBox); ok {
+		return b.err
 	}
 	return nil
 }
 
-// fail records the first WAL failure; every later write attempt returns it.
-func (d *durable) fail(err error) {
-	d.failure.CompareAndSwap(nil, fmt.Errorf("store: write-ahead log failed, write path disabled: %w", err))
-}
-
-// noteErr records a background checkpoint failure for CheckpointErr.
-func (d *durable) noteErr(err error) {
-	if err != nil {
-		d.ckptError.Store(err)
+// backoffFor is the capped exponential delay before retry attempt (1-based).
+func (d *durable) backoffFor(attempt int) time.Duration {
+	delay := d.backoff
+	for i := 1; i < attempt && delay < maxRetryBackoff; i++ {
+		delay *= 2
 	}
+	if delay > maxRetryBackoff {
+		delay = maxRetryBackoff
+	}
+	return delay
 }
 
 // appendGroup logs one coalesced batch group and commits it under the
 // configured fsync policy. Nothing in the group may be applied or
 // acknowledged unless this succeeds; on failure the group's partial tail
 // is rolled back so batches whose callers saw an error cannot resurface
-// on restart (acked ⇒ durable, and errored ⇒ absent). Writer goroutine
+// on restart (acked ⇒ durable, and errored ⇒ absent).
+//
+// Transient faults are retried in place with capped exponential backoff —
+// each attempt rolls the torn tail back first, so the retried group lands
+// whole and the durability contract is unchanged. Exhausting the retries
+// degrades the write path; so does a failed rollback, immediately, because
+// the log's tail invariant cannot be restored in place. Writer goroutine
 // only.
 func (d *durable) appendGroup(epochs []uint64, batch func(i int) []graph.Update) error {
-	if err := d.failedErr(); err != nil {
+	if err := d.degradedErr(); err != nil {
 		return err
 	}
-	mark := d.log.TailMark()
-	groupErr := func() error {
-		for i, e := range epochs {
-			d.encBuf = encodeBatch(d.encBuf[:0], batch(i))
-			if err := d.log.Append(e, d.encBuf); err != nil {
-				return err
-			}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			time.Sleep(d.backoffFor(attempt))
+			d.writeRetries.Add(1)
 		}
-		return d.log.Commit()
-	}()
-	if groupErr == nil {
-		return nil
+		mark := d.log.TailMark()
+		lastErr = func() error {
+			for i, e := range epochs {
+				d.encBuf = encodeBatch(d.encBuf[:0], batch(i))
+				if err := d.log.Append(e, d.encBuf); err != nil {
+					return err
+				}
+			}
+			return d.log.Commit()
+		}()
+		if lastErr == nil {
+			return nil
+		}
+		if rerr := d.log.Rollback(mark); rerr != nil {
+			// The torn group stays on disk for recovery's emergency
+			// checkpoint + WAL reset to supersede; no retry can run on a
+			// tail in unknown state.
+			d.degrade(fmt.Errorf("%w (rollback also failed: %v)", lastErr, rerr))
+			return d.degradedErr()
+		}
+		if attempt >= d.retries {
+			break
+		}
 	}
-	d.fail(groupErr)
-	// Best-effort: a rollback failure on an already-failing disk leaves
-	// the torn group for recovery's CRC scan to drop or — if it was fully
-	// framed — resurrect; the sticky failure above still disables this
-	// process's write path either way.
-	if err := d.log.Rollback(mark); err != nil {
-		d.noteErr(err)
-	}
-	return d.failedErr()
+	d.degrade(lastErr)
+	return d.degradedErr()
 }
 
 // maybeCheckpoint starts write on a background goroutine when the batch
@@ -174,8 +265,27 @@ func (d *durable) maybeCheckpoint(epoch uint64, write func() error) {
 	go func() {
 		defer d.wg.Done()
 		defer d.busy.Store(false)
-		d.noteErr(write())
+		d.noteErr(d.withRetry(write))
 	}()
+}
+
+// withRetry runs fn, retrying failures with the append path's capped
+// backoff. It stops early when the durable layer is closing.
+func (d *durable) withRetry(fn func() error) error {
+	var err error
+	for attempt := 0; attempt <= d.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-d.stop:
+				return err
+			case <-time.After(d.backoffFor(attempt)):
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 // shouldCheckpoint reports whether the batch or byte threshold is crossed
@@ -197,10 +307,25 @@ func (d *durable) shouldCheckpoint(epoch uint64) bool {
 // snapshot files. Concurrent and repeated calls are safe; a checkpoint at
 // or below the newest one is a no-op.
 func (d *durable) checkpoint(epoch uint64, write func(path string) error) error {
+	return d.checkpointAt(epoch, write, false)
+}
+
+// checkpointAt is checkpoint with an explicit force flag: a forced call
+// rewrites the checkpoint even at or below the newest epoch. The scrubber
+// needs it after quarantining the manifest's own snapshot — the epoch did
+// not advance, only the file is gone.
+func (d *durable) checkpointAt(epoch uint64, write func(path string) error, force bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.ckptEver.Load() && epoch <= d.lastCkpt.Load() {
-		return nil
+	last := d.lastCkpt.Load()
+	if d.ckptEver.Load() && epoch <= last {
+		if !force {
+			return nil
+		}
+		if epoch < last {
+			// Never move the manifest backwards; rewrite the newest.
+			epoch = last
+		}
 	}
 	name := fmt.Sprintf("snap-%016x.qps", epoch)
 	if err := write(filepath.Join(d.dir, name)); err != nil {
@@ -208,10 +333,10 @@ func (d *durable) checkpoint(epoch uint64, write func(path string) error) error 
 	}
 	// The snapshot's directory entry must be durable before the manifest
 	// names it.
-	if err := syncDir(d.dir); err != nil {
+	if err := syncDir(d.fs, d.dir); err != nil {
 		return err
 	}
-	if err := writeManifest(d.dir, manifest{kind: d.kind, epoch: epoch, snapshot: name}); err != nil {
+	if err := writeManifest(d.fs, d.dir, manifest{kind: d.kind, epoch: epoch, snapshot: name}); err != nil {
 		return err
 	}
 	d.lastCkpt.Store(epoch)
@@ -226,7 +351,7 @@ func (d *durable) checkpoint(epoch uint64, write func(path string) error) error 
 
 // removeOldSnapshots deletes snapshot files below the newest checkpoint.
 func (d *durable) removeOldSnapshots(newest uint64) error {
-	entries, err := os.ReadDir(d.dir)
+	entries, err := d.fs.ReadDir(d.dir)
 	if err != nil {
 		return err
 	}
@@ -241,7 +366,7 @@ func (d *durable) removeOldSnapshots(newest uint64) error {
 			continue // not ours; leave it alone
 		}
 		if epoch < newest {
-			if err := os.Remove(filepath.Join(d.dir, name)); err != nil && !os.IsNotExist(err) {
+			if err := d.fs.Remove(filepath.Join(d.dir, name)); err != nil && !os.IsNotExist(err) {
 				return err
 			}
 		}
@@ -267,15 +392,26 @@ func (d *durable) replayTail(fromEpoch uint64, numNodes int) (tail [][]graph.Upd
 	return tail, updates, nil
 }
 
-// close waits for in-flight checkpoints and closes the WAL. Idempotent.
-func (d *durable) close() {
+// close stops the background loops, waits for in-flight checkpoints and
+// closes the WAL. It returns the outstanding background checkpoint failure
+// if one is sticky, else any close error. Idempotent.
+func (d *durable) close() error {
 	if !d.closed.CompareAndSwap(false, true) {
-		return
+		return nil
 	}
+	close(d.stop)
+	d.bgWg.Wait()
 	d.wg.Wait()
+	var err error
 	if d.log != nil {
-		d.log.Close()
+		err = d.log.Close()
 	}
+	if cerr := d.ckptErr(); cerr != nil {
+		// A lost checkpoint outranks close noise: the caller should know
+		// the directory's newest checkpoint is older than it expects.
+		return cerr
+	}
+	return err
 }
 
 // manifest is the recovery pointer: which snapshot file is current.
@@ -287,32 +423,32 @@ type manifest struct {
 
 // writeManifest atomically replaces the manifest: temp file, fsync,
 // rename, directory fsync.
-func writeManifest(dir string, m manifest) error {
+func writeManifest(fsys faultfs.FS, dir string, m manifest) error {
 	body := fmt.Sprintf("qpgc-durable v1\nkind %v\nepoch %d\nsnapshot %s\n", m.kind, m.epoch, m.snapshot)
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(body); err != nil {
+	if _, err := f.Write([]byte(body)); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // readManifest parses the manifest of dir.
@@ -384,6 +520,9 @@ type DirInfo struct {
 	// WALBytes and WALSegments size the log tail on disk.
 	WALBytes    int64
 	WALSegments int
+	// Quarantined lists files the scrubber found corrupt and set aside
+	// (*.quarantine): evidence of damage, no longer part of recovery.
+	Quarantined []string
 }
 
 // Inspect reads a durable directory's manifest and sizes its files, for
@@ -402,11 +541,14 @@ func Inspect(dir string) (DirInfo, error) {
 		return DirInfo{}, err
 	}
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+		switch {
+		case strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg"):
 			info.WALSegments++
 			if fi, err := e.Info(); err == nil {
 				info.WALBytes += fi.Size()
 			}
+		case strings.HasSuffix(e.Name(), ".quarantine"):
+			info.Quarantined = append(info.Quarantined, e.Name())
 		}
 	}
 	return info, nil
@@ -460,8 +602,8 @@ func decodeBatch(payload []byte, numNodes int) ([]graph.Update, error) {
 }
 
 // syncDir fsyncs a directory so entry renames survive a crash.
-func syncDir(dir string) error {
-	f, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	f, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}

@@ -37,8 +37,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bisim"
+	"repro/internal/faultfs"
 	"repro/internal/graph"
 	"repro/internal/hop2"
 	"repro/internal/incbisim"
@@ -72,6 +74,37 @@ type ShardedOptions struct {
 	CheckpointBatches int
 	// CheckpointBytes is the WAL size trigger, as in Options.
 	CheckpointBytes int64
+	// FS is the filesystem the durable layer runs on, as in Options.FS.
+	FS faultfs.FS
+	// WriteRetries, RetryBackoff, RecoveryInterval, ScrubInterval and
+	// ScrubRate configure the self-healing machinery, as in Options. They
+	// apply to the coordinator's write path: the sharded store logs the
+	// global update stream through one WAL, so health is a whole-store
+	// property, not per shard.
+	WriteRetries     int
+	RetryBackoff     time.Duration
+	RecoveryInterval time.Duration
+	ScrubInterval    time.Duration
+	ScrubRate        int64
+	// WALSegmentBytes is the WAL segment rotation threshold, as in Options.
+	WALSegmentBytes int64
+}
+
+// durableCfg projects the durable layer's cut of the options.
+func (o ShardedOptions) durableCfg() durableConfig {
+	return durableConfig{
+		dir:              o.Dir,
+		sync:             o.Sync,
+		ckptBatches:      o.CheckpointBatches,
+		ckptBytes:        o.CheckpointBytes,
+		fs:               o.FS,
+		writeRetries:     o.WriteRetries,
+		retryBackoff:     o.RetryBackoff,
+		recoveryInterval: o.RecoveryInterval,
+		scrubInterval:    o.ScrubInterval,
+		scrubRate:        o.ScrubRate,
+		segBytes:         o.WALSegmentBytes,
+	}
 }
 
 // DefaultShardedOptions returns the standard configuration: 4 shards,
@@ -485,7 +518,7 @@ func OpenSharded(g *graph.Graph, opts *ShardedOptions) (*ShardedStore, error) {
 		return nil, fmt.Errorf("store: %s holds no recoverable state and no graph was given", o.Dir)
 	}
 	s := openShardedMem(g, o)
-	d, err := newDurable(o.Dir, o.Sync, o.CheckpointBatches, o.CheckpointBytes, snapfile.KindSharded)
+	d, err := newDurable(o.durableCfg(), snapfile.KindSharded)
 	if err != nil {
 		s.Close()
 		return nil, err
@@ -499,6 +532,7 @@ func OpenSharded(g *graph.Graph, opts *ShardedOptions) (*ShardedStore, error) {
 		s.Close()
 		return nil, err
 	}
+	d.startBackground(s.persistSnapshot)
 	return s, nil
 }
 
@@ -678,6 +712,10 @@ func (s *ShardedStore) run() {
 		}
 		if s.dur != nil {
 			if err := s.dur.appendGroup(epochs, func(i int) []graph.Update { return pending[i].batch }); err != nil {
+				// Roll the epoch counter back so the next accepted group —
+				// possibly after a recovery reset the WAL — continues the
+				// acked sequence with no gap.
+				s.batches.Store(epochs[0] - 1)
 				for _, p := range pending {
 					p.res <- shardedApplyOutcome{err: err}
 				}
@@ -723,8 +761,35 @@ func (s *ShardedStore) Checkpoint() error {
 // writeCheckpoint persists sn as the directory's newest checkpoint.
 func (s *ShardedStore) writeCheckpoint(sn *ShardedSnapshot) error {
 	return s.dur.checkpoint(sn.Epoch, func(path string) error {
-		return snapfile.WriteSharded(path, shardedParts(s, sn))
+		return snapfile.WriteShardedFS(s.dur.fs, path, shardedParts(s, sn))
 	})
+}
+
+// persistSnapshot checkpoints the current snapshot; the recovery loop and
+// the scrubber call it (force rewrites even at the newest epoch).
+func (s *ShardedStore) persistSnapshot(force bool) error {
+	sn := s.Snapshot()
+	return s.dur.checkpointAt(sn.Epoch, func(path string) error {
+		return snapfile.WriteShardedFS(s.dur.fs, path, shardedParts(s, sn))
+	}, force)
+}
+
+// Health reports the coordinator write path's health, as Store.Health. An
+// in-memory store is always Healthy.
+func (s *ShardedStore) Health() Health {
+	if s.dur == nil {
+		return Health{State: Healthy}
+	}
+	return s.dur.healthReport()
+}
+
+// ScrubNow runs one integrity scrub pass synchronously, as Store.ScrubNow;
+// ErrNotDurable on an in-memory store.
+func (s *ShardedStore) ScrubNow() (ScrubReport, error) {
+	if s.dur == nil {
+		return ScrubReport{}, ErrNotDurable
+	}
+	return s.dur.scrubOnce(s.persistSnapshot), nil
 }
 
 // shardedParts projects a published sharded snapshot onto the codec's
@@ -760,11 +825,11 @@ func shardedParts(s *ShardedStore, sn *ShardedSnapshot) *snapfile.ShardedParts {
 // partition and the full epoch vector from the checkpoint by slicing, then
 // replay the WAL tail through freshly materialized shard pipelines.
 func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
-	d, err := newDurable(o.Dir, o.Sync, o.CheckpointBatches, o.CheckpointBytes, snapfile.KindSharded)
+	d, err := newDurable(o.durableCfg(), snapfile.KindSharded)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := snapfile.LoadSharded(d.snapshotPath())
+	parts, err := snapfile.LoadShardedFS(d.fs, d.snapshotPath())
 	if err != nil {
 		return nil, err
 	}
@@ -876,6 +941,7 @@ func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
 		s.batches.Store(epoch)
 		s.publish(epoch)
 	}
+	d.startBackground(s.persistSnapshot)
 	go s.run()
 	return s, nil
 }
@@ -980,11 +1046,13 @@ func (s *ShardedStore) ApplyBatch(batch []graph.Update) (ShardedApplyResult, err
 }
 
 // Close stops the coordinator and every shard writer after the queue
-// drains, waits for any in-flight background checkpoint, and closes the
-// WAL. Queries remain answerable on the final snapshot; further ApplyBatch
-// calls fail with ErrClosed. Close is idempotent and, like Store.Close,
-// does not checkpoint — call Checkpoint first for a pure-load restart.
-func (s *ShardedStore) Close() {
+// drains, stops the recovery and scrub loops, waits for any in-flight
+// background checkpoint, and closes the WAL. Queries remain answerable on
+// the final snapshot; further ApplyBatch calls fail with ErrClosed. Close
+// is idempotent and, like Store.Close, does not checkpoint — call
+// Checkpoint first for a pure-load restart. It returns a background
+// checkpoint failure still outstanding at close.
+func (s *ShardedStore) Close() error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -993,8 +1061,9 @@ func (s *ShardedStore) Close() {
 	s.mu.Unlock()
 	<-s.idle
 	if s.dur != nil {
-		s.dur.close()
+		return s.dur.close()
 	}
+	return nil
 }
 
 // Snapshot returns the current epoch's immutable query state. Use it to

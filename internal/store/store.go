@@ -49,8 +49,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bisim"
+	"repro/internal/faultfs"
 	"repro/internal/graph"
 	"repro/internal/hop2"
 	"repro/internal/incbisim"
@@ -113,6 +115,47 @@ type Options struct {
 	// this many bytes. 0 means the default (8 MiB); negative disables the
 	// byte trigger.
 	CheckpointBytes int64
+	// FS is the filesystem the durable layer runs on. Nil means the real
+	// disk; tests substitute a faultfs.Inject to fire storage faults
+	// deterministically.
+	FS faultfs.FS
+	// WriteRetries is how many times a failed WAL append group is retried
+	// in place (with capped exponential backoff) before the write path
+	// degrades. 0 means the default (4); negative disables retries.
+	WriteRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt up to a cap. 0 means the default (5ms).
+	RetryBackoff time.Duration
+	// RecoveryInterval is how often a degraded store re-probes its
+	// directory to re-arm the write path. 0 means the default (250ms);
+	// negative disables background recovery.
+	RecoveryInterval time.Duration
+	// ScrubInterval enables the background integrity scrubber at this
+	// cadence; 0 (the default) disables it. ScrubNow works either way.
+	ScrubInterval time.Duration
+	// ScrubRate bounds scrub IO in bytes/sec. 0 means the default (8 MiB/s).
+	ScrubRate int64
+	// WALSegmentBytes is the WAL's segment rotation threshold. 0 means the
+	// wal package default (4 MiB); smaller values seal segments sooner,
+	// giving checkpoint truncation and the scrubber finer granularity.
+	WALSegmentBytes int64
+}
+
+// durableCfg projects the durable layer's cut of the options.
+func (o Options) durableCfg() durableConfig {
+	return durableConfig{
+		dir:              o.Dir,
+		sync:             o.Sync,
+		ckptBatches:      o.CheckpointBatches,
+		ckptBytes:        o.CheckpointBytes,
+		fs:               o.FS,
+		writeRetries:     o.WriteRetries,
+		retryBackoff:     o.RetryBackoff,
+		recoveryInterval: o.RecoveryInterval,
+		scrubInterval:    o.ScrubInterval,
+		scrubRate:        o.ScrubRate,
+		segBytes:         o.WALSegmentBytes,
+	}
 }
 
 // DefaultOptions returns the standard configuration: 2-hop indexes on,
@@ -341,7 +384,7 @@ func Open(g *graph.Graph, opts *Options) (*Store, error) {
 		return nil, fmt.Errorf("store: %s holds no recoverable state and no graph was given", o.Dir)
 	}
 	s := openMem(g, o)
-	d, err := initDurable(o, snapfile.KindStore)
+	d, err := newDurable(o.durableCfg(), snapfile.KindStore)
 	if err != nil {
 		s.Close()
 		return nil, err
@@ -355,6 +398,7 @@ func Open(g *graph.Graph, opts *Options) (*Store, error) {
 		s.Close()
 		return nil, err
 	}
+	d.startBackground(s.persistSnapshot)
 	return s, nil
 }
 
@@ -438,15 +482,21 @@ func (s *Store) run() {
 		}
 		// WAL first: the group is appended and committed before any batch
 		// is applied or acknowledged, so acked ⇒ durable. A log failure
-		// breaks the store's write path permanently (reads keep working on
-		// the last snapshot): with the log behind the maintainers' state,
-		// continuing would acknowledge updates a restart silently forgets.
+		// that survives the in-place retries degrades the write path —
+		// reads keep working on the last snapshot, writes fail fast — until
+		// the background recovery loop re-arms it: with the log behind the
+		// maintainers' state, continuing would acknowledge updates a
+		// restart silently forgets.
 		epochs := make([]uint64, len(pending))
 		for i := range pending {
 			epochs[i] = s.batches.Add(1)
 		}
 		if s.dur != nil {
 			if err := s.dur.appendGroup(epochs, func(i int) []graph.Update { return pending[i].batch }); err != nil {
+				// Roll the epoch counter back so the next accepted group —
+				// possibly after a recovery reset the WAL — continues the
+				// acked sequence with no gap.
+				s.batches.Store(epochs[0] - 1)
 				for _, p := range pending {
 					p.res <- applyOutcome{err: err}
 				}
@@ -495,8 +545,39 @@ func (s *Store) Checkpoint() error {
 // writeCheckpoint persists sn as the directory's newest checkpoint.
 func (s *Store) writeCheckpoint(sn *Snapshot) error {
 	return s.dur.checkpoint(sn.Epoch, func(path string) error {
-		return snapfile.WriteStore(path, storeParts(sn))
+		return snapfile.WriteStoreFS(s.dur.fs, path, storeParts(sn))
 	})
+}
+
+// persistSnapshot checkpoints the current snapshot; the recovery loop and
+// the scrubber call it (force rewrites even at the newest epoch).
+func (s *Store) persistSnapshot(force bool) error {
+	sn := s.Snapshot()
+	return s.dur.checkpointAt(sn.Epoch, func(path string) error {
+		return snapfile.WriteStoreFS(s.dur.fs, path, storeParts(sn))
+	}, force)
+}
+
+// Health reports the write path's health: state, degradation reason,
+// retry/degradation/recovery counters and the last scrub. An in-memory
+// store is always Healthy.
+func (s *Store) Health() Health {
+	if s.dur == nil {
+		return Health{State: Healthy}
+	}
+	return s.dur.healthReport()
+}
+
+// ScrubNow runs one integrity scrub pass synchronously — verify sealed WAL
+// segments and snapshot checksums, quarantine corrupt files, re-checkpoint
+// if anything was set aside — and returns its report. It works whether or
+// not the background scrubber is enabled; ErrNotDurable on an in-memory
+// store.
+func (s *Store) ScrubNow() (ScrubReport, error) {
+	if s.dur == nil {
+		return ScrubReport{}, ErrNotDurable
+	}
+	return s.dur.scrubOnce(s.persistSnapshot), nil
 }
 
 // storeParts projects a published snapshot onto the codec's flat form. The
@@ -522,11 +603,11 @@ func storeParts(sn *Snapshot) *snapfile.StoreParts {
 // replay the WAL tail through the maintainers' Replay entry points, and
 // start serving. With an empty tail no compression work happens at all.
 func recoverStore(o Options) (*Store, error) {
-	d, err := initDurable(o, snapfile.KindStore)
+	d, err := newDurable(o.durableCfg(), snapfile.KindStore)
 	if err != nil {
 		return nil, err
 	}
-	parts, err := snapfile.LoadStore(d.snapshotPath())
+	parts, err := snapfile.LoadStoreFS(d.fs, d.snapshotPath())
 	if err != nil {
 		return nil, err
 	}
@@ -584,6 +665,7 @@ func recoverStore(o Options) (*Store, error) {
 		s.updates.Store(updates)
 		s.publish(sn.Epoch + uint64(len(tail)))
 	}
+	d.startBackground(s.persistSnapshot)
 	go s.run()
 	return s, nil
 }
@@ -592,8 +674,10 @@ func recoverStore(o Options) (*Store, error) {
 // it is published; the store then equals G ⊕ ΔG for every reader, and — on
 // a durable store — the batch is on stable storage per the Sync policy.
 // Batches from concurrent callers are applied in arrival order. It returns
-// ErrClosed after Close, and the WAL failure that broke a durable store's
-// write path thereafter.
+// ErrClosed after Close. On a durable store whose write path is degraded
+// by a persistent storage fault it fails fast with the degradation reason
+// — no state changes, nothing is acknowledged — until background recovery
+// re-arms the path (see Health).
 func (s *Store) ApplyBatch(batch []graph.Update) (ApplyResult, error) {
 	req := applyReq{batch: batch, res: make(chan applyOutcome, 1)}
 	s.mu.RLock()
@@ -607,12 +691,15 @@ func (s *Store) ApplyBatch(batch []graph.Update) (ApplyResult, error) {
 	return out.res, out.err
 }
 
-// Close stops the writer goroutine after the queue drains, waits for any
-// in-flight background checkpoint, and closes the WAL. Queries remain
-// answerable on the final snapshot; further ApplyBatch calls fail. Close
-// does not checkpoint: a reopen replays the WAL tail instead (call
-// Checkpoint first to make the next start a pure snapshot load).
-func (s *Store) Close() {
+// Close stops the writer goroutine after the queue drains, stops the
+// recovery and scrub loops, waits for any in-flight background checkpoint,
+// and closes the WAL. Queries remain answerable on the final snapshot;
+// further ApplyBatch calls fail. Close does not checkpoint: a reopen
+// replays the WAL tail instead (call Checkpoint first to make the next
+// start a pure snapshot load). It returns a background checkpoint failure
+// still outstanding at close, so a caller that never checked Health sees
+// the directory ended behind where it should be.
+func (s *Store) Close() error {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -621,8 +708,9 @@ func (s *Store) Close() {
 	s.mu.Unlock()
 	<-s.idle
 	if s.dur != nil {
-		s.dur.close()
+		return s.dur.close()
 	}
+	return nil
 }
 
 // Snapshot returns the current epoch's immutable query state. Use it to pin

@@ -1,0 +1,77 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEmptyOnlySegmentHeals pins the crash window between segment creation
+// and the first record: a directory holding a single zero-length segment
+// must open silently and accept appends at the segment's named seq.
+func TestEmptyOnlySegmentHeals(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	l := open(t, dir, 1, nil)
+	defer l.Close()
+	if got := l.LastSeq(); got != 0 {
+		t.Fatalf("LastSeq = %d, want 0", got)
+	}
+	appendN(t, l, 1, 5)
+	if got := collect(t, l, 1); len(got) != 5 {
+		t.Fatalf("replay got %d records, want 5", len(got))
+	}
+}
+
+// TestEmptyFinalSegmentHeals pins the crash window mid-rotation: sealed
+// segments followed by a zero-length final one. Open must resume appending
+// into the empty tail at its named seq with no record lost.
+func TestEmptyFinalSegmentHeals(t *testing.T) {
+	dir := t.TempDir()
+	l := open(t, dir, 1, &Options{SegmentBytes: 128, Sync: SyncNone})
+	appendN(t, l, 1, 30)
+	last := l.LastSeq()
+	l.Close()
+	// Simulate the crash: a fresh segment was created but never written.
+	if err := os.WriteFile(filepath.Join(dir, segmentName(last+1)), nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := open(t, dir, last+1, nil)
+	defer l2.Close()
+	if got := l2.LastSeq(); got != last {
+		t.Fatalf("LastSeq = %d, want %d", got, last)
+	}
+	appendN(t, l2, last+1, last+10)
+	got := collect(t, l2, 1)
+	for seq := uint64(1); seq <= last+10; seq++ {
+		if _, ok := got[seq]; !ok {
+			t.Fatalf("record %d missing after heal", seq)
+		}
+	}
+}
+
+// TestEmptyTailRemovedWhenLagging pins the Open path where the caller's
+// nextSeq is ahead of a zero-length tail segment (snapshot ahead of the
+// log): the stale empty segment must be deleted, not sealed, leaving no
+// gap-confusing artifact on disk.
+func TestEmptyTailRemovedWhenLagging(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentName(3)), nil, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	l := open(t, dir, 10, nil)
+	appendN(t, l, 10, 12)
+	l.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, segmentName(3))); !os.IsNotExist(err) {
+		t.Fatal("stale empty segment wal-3 survived Open")
+	}
+	l2 := open(t, dir, 13, nil)
+	defer l2.Close()
+	if got := collect(t, l2, 10); len(got) != 3 {
+		t.Fatalf("replay got %d records, want 3", len(got))
+	}
+}

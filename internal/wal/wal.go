@@ -40,12 +40,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // SyncMode selects the fsync policy applied by Commit.
@@ -90,6 +93,9 @@ type Options struct {
 	SegmentBytes int64
 	// Sync is the Commit fsync policy. Defaults to SyncAlways.
 	Sync SyncMode
+	// FS is the filesystem the log runs on. Nil means the real disk; tests
+	// substitute a faultfs.Inject to fire storage errors deterministically.
+	FS faultfs.FS
 }
 
 // DefaultOptions returns the standard configuration: 4 MiB segments,
@@ -108,9 +114,10 @@ type segment struct {
 type Log struct {
 	mu     sync.Mutex
 	dir    string
+	fs     faultfs.FS
 	opts   Options
 	segs   []segment // ascending by first; last is active
-	active *os.File
+	active faultfs.File
 	next   uint64 // seq the next Append must carry
 	frame  []byte // reusable framing buffer
 	closed bool
@@ -131,11 +138,12 @@ func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	fsys := faultfs.Or(o.FS)
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: o}
-	names, err := listSegments(dir)
+	l := &Log{dir: dir, fs: fsys, opts: o}
+	names, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +167,7 @@ func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
 	// tail, which is cut off in place.
 	for i := range l.segs {
 		s := &l.segs[i]
-		data, err := os.ReadFile(filepath.Join(dir, s.name))
+		data, err := fsys.ReadFile(filepath.Join(dir, s.name))
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +177,7 @@ func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
 			return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, s.name, scanErr)
 		}
 		if !sealed && int(good) < len(data) {
-			if err := os.Truncate(filepath.Join(dir, s.name), good); err != nil {
+			if err := fsys.Truncate(filepath.Join(dir, s.name), good); err != nil {
 				return nil, err
 			}
 			data = data[:good]
@@ -184,7 +192,7 @@ func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
 
 	// Re-open the last segment for appending.
 	tail := &l.segs[len(l.segs)-1]
-	f, err := os.OpenFile(filepath.Join(dir, tail.name), os.O_WRONLY|os.O_APPEND, 0o666)
+	f, err := fsys.OpenFile(filepath.Join(dir, tail.name), os.O_WRONLY|os.O_APPEND, 0o666)
 	if err != nil {
 		return nil, err
 	}
@@ -192,10 +200,24 @@ func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
 
 	// A log lagging its snapshot (e.g. segments deleted by hand) resumes at
 	// the caller's sequence in a fresh segment, keeping the invariant that a
-	// segment's records are consecutive from its filename's seq.
+	// segment's records are consecutive from its filename's seq. An empty
+	// tail — a crash between segment creation and its first record — is
+	// removed rather than sealed, so no empty segment lingers to confuse
+	// later gap accounting.
 	if nextSeq > l.next {
 		l.next = nextSeq
-		if err := l.rotateLocked(); err != nil {
+		if tail.size == 0 {
+			if err := l.active.Close(); err != nil {
+				return nil, err
+			}
+			if err := fsys.Remove(filepath.Join(dir, tail.name)); err != nil {
+				return nil, err
+			}
+			l.segs = l.segs[:len(l.segs)-1]
+			if err := l.startSegment(nextSeq); err != nil {
+				return nil, err
+			}
+		} else if err := l.rotateLocked(); err != nil {
 			l.active.Close()
 			return nil, err
 		}
@@ -298,21 +320,21 @@ func (l *Log) Rollback(m Mark) error {
 	if m.segIndex >= len(l.segs) || l.segs[m.segIndex].name != m.segName {
 		return fmt.Errorf("wal: rollback mark names unknown segment %s", m.segName)
 	}
-	// Drop whole segments the group caused to be created.
-	if err := l.active.Close(); err != nil {
-		return err
-	}
+	// Drop whole segments the group caused to be created. The close error
+	// is ignored: a failed rotation leaves the handle already closed, and
+	// the marked segment is reopened below either way.
+	l.active.Close()
 	for _, s := range l.segs[m.segIndex+1:] {
-		if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil && !os.IsNotExist(err) {
+		if err := l.fs.Remove(filepath.Join(l.dir, s.name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 			return err
 		}
 	}
 	l.segs = l.segs[:m.segIndex+1]
 	path := filepath.Join(l.dir, m.segName)
-	if err := os.Truncate(path, m.size); err != nil {
+	if err := l.fs.Truncate(path, m.size); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
 	if err != nil {
 		return err
 	}
@@ -352,7 +374,7 @@ func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) err
 		if s.size == 0 {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(l.dir, s.name))
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, s.name))
 		if err != nil {
 			return err
 		}
@@ -394,7 +416,7 @@ func (l *Log) TruncateBefore(upTo uint64) error {
 		sealed := i < len(l.segs)-1
 		// A sealed segment's records end just before its successor's first.
 		if sealed && l.segs[i+1].first <= upTo+1 {
-			if err := os.Remove(filepath.Join(l.dir, s.name)); err != nil && !os.IsNotExist(err) {
+			if err := l.fs.Remove(filepath.Join(l.dir, s.name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
 				return err
 			}
 			removed = true
@@ -404,7 +426,7 @@ func (l *Log) TruncateBefore(upTo uint64) error {
 	}
 	l.segs = keep
 	if removed {
-		return syncDir(l.dir)
+		return syncDir(l.fs, l.dir)
 	}
 	return nil
 }
@@ -433,6 +455,128 @@ func (l *Log) SegmentCount() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.segs)
+}
+
+// SegmentInfo describes one live segment file, for inspection and the
+// integrity scrubber.
+type SegmentInfo struct {
+	// Name is the segment's file name within the log directory.
+	Name string
+	// First is the sequence number of the segment's first record.
+	First uint64
+	// Size is the segment's size in bytes.
+	Size int64
+	// Sealed reports whether the segment is immutable (not the active one).
+	Sealed bool
+}
+
+// Segments lists the live segments in sequence order; the last entry is the
+// active segment.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	infos := make([]SegmentInfo, len(l.segs))
+	for i, s := range l.segs {
+		infos[i] = SegmentInfo{Name: s.name, First: s.first, Size: s.size, Sealed: i < len(l.segs)-1}
+	}
+	return infos
+}
+
+// ActiveSegment returns the name of the segment currently accepting
+// appends.
+func (l *Log) ActiveSegment() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[len(l.segs)-1].name
+}
+
+// CheckSegment re-reads a sealed segment and verifies every record frame
+// (CRC and sequence continuity), returning the bytes read — the scrubber's
+// rate-accounting unit. Corruption is reported wrapping ErrCorrupt. The
+// read runs outside the log mutex: sealed segments are immutable, and one
+// deleted mid-scrub by a concurrent checkpoint surfaces as ErrNotExist for
+// the caller to skip. Checking the active segment is refused — it is
+// growing under the writer.
+func (l *Log) CheckSegment(name string) (int64, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	var first uint64
+	found, sealed := false, false
+	for i, s := range l.segs {
+		if s.name == name {
+			first, found, sealed = s.first, true, i < len(l.segs)-1
+			break
+		}
+	}
+	fsys, dir := l.fs, l.dir
+	l.mu.Unlock()
+	if !found {
+		return 0, fmt.Errorf("wal: check of unknown segment %s", name)
+	}
+	if !sealed {
+		return 0, fmt.Errorf("wal: check of active segment %s refused", name)
+	}
+	data, err := fsys.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return 0, err
+	}
+	if _, _, scanErr := scanSegment(data, first); scanErr != nil {
+		return int64(len(data)), fmt.Errorf("%w: %s: %v", ErrCorrupt, name, scanErr)
+	}
+	return int64(len(data)), nil
+}
+
+// QuarantineSegment renames a corrupt sealed segment to name+".quarantine"
+// and drops it from the log, preserving the evidence while getting it out
+// of the replay path. The caller must immediately force a checkpoint past
+// the log's tail: the quarantined records are gone from the log, and only
+// a snapshot that covers them keeps the store recoverable.
+func (l *Log) QuarantineSegment(name string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for i, s := range l.segs {
+		if s.name != name {
+			continue
+		}
+		if i == len(l.segs)-1 {
+			return fmt.Errorf("wal: quarantine of active segment %s refused", name)
+		}
+		path := filepath.Join(l.dir, name)
+		if err := l.fs.Rename(path, path+".quarantine"); err != nil {
+			return err
+		}
+		l.segs = append(l.segs[:i], l.segs[i+1:]...)
+		return syncDir(l.fs, l.dir)
+	}
+	return fmt.Errorf("wal: quarantine of unknown segment %s", name)
+}
+
+// Reset discards every segment and starts an empty log whose next record
+// will carry nextSeq. It is the recovery loop's last resort once an
+// emergency checkpoint has made the log's contents redundant: whatever
+// state the old segments (or the poisoned active file handle) were in no
+// longer matters.
+func (l *Log) Reset(nextSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.active.Close() // ignore errors: the handle may be poisoned by a failed fsync
+	for _, s := range l.segs {
+		if err := l.fs.Remove(filepath.Join(l.dir, s.name)); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return err
+		}
+	}
+	l.segs = nil
+	l.next = nextSeq
+	return l.startSegment(nextSeq)
 }
 
 // Close syncs and closes the active segment. The log is unusable
@@ -467,11 +611,11 @@ func (l *Log) rotateLocked() error {
 // metadata entry. Callers hold l.mu (or own the log exclusively in Open).
 func (l *Log) startSegment(first uint64) error {
 	name := segmentName(first)
-	f, err := os.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, name), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
 	if err != nil {
 		return err
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
 		f.Close()
 		return err
 	}
@@ -525,9 +669,67 @@ func scanSegment(data []byte, first uint64) (last uint64, good int64, err error)
 	return seq - 1, int64(off), nil
 }
 
+// SegmentCheck is one segment's result from VerifyDir.
+type SegmentCheck struct {
+	// Name is the segment file's name; Bytes its size on disk.
+	Name  string
+	Bytes int64
+	// Records counts the valid records scanned before any damage.
+	Records uint64
+	// Torn reports a damaged tail on the final segment: recoverable — Open
+	// truncates it. Err carries damage on a sealed segment (real data
+	// loss) or a read failure.
+	Torn bool
+	Err  error
+}
+
+// VerifyDir scans every WAL segment in dir offline — without opening a
+// Log and without modifying anything — verifying frame CRCs and sequence
+// continuity. Results come back in segment order. Damage on the final
+// segment is reported as Torn (Open would heal it by truncation); damage
+// anywhere else wraps ErrCorrupt in Err. A nil fsys means the real disk.
+func VerifyDir(fsys faultfs.FS, dir string) ([]SegmentCheck, error) {
+	fsys = faultfs.Or(fsys)
+	names, err := listSegments(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names) // fixed-width hex: lexicographic == numeric
+	checks := make([]SegmentCheck, 0, len(names))
+	for i, name := range names {
+		c := SegmentCheck{Name: name}
+		first, perr := parseSegmentName(name)
+		if perr != nil {
+			c.Err = perr
+			checks = append(checks, c)
+			continue
+		}
+		data, rerr := fsys.ReadFile(filepath.Join(dir, name))
+		if rerr != nil {
+			c.Err = rerr
+			checks = append(checks, c)
+			continue
+		}
+		c.Bytes = int64(len(data))
+		last, _, serr := scanSegment(data, first)
+		if last >= first {
+			c.Records = last - first + 1
+		}
+		if serr != nil {
+			if i == len(names)-1 {
+				c.Torn = true
+			} else {
+				c.Err = fmt.Errorf("%w: %s: %v", ErrCorrupt, name, serr)
+			}
+		}
+		checks = append(checks, c)
+	}
+	return checks, nil
+}
+
 // listSegments returns the names of all segment files in dir.
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -556,8 +758,8 @@ func parseSegmentName(name string) (uint64, error) {
 }
 
 // syncDir fsyncs a directory so entry creation/deletion survives a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys faultfs.FS, dir string) error {
+	d, err := fsys.OpenFile(dir, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}

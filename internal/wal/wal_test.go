@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+
+	"repro/internal/faultfs"
 )
 
 func open(t *testing.T, dir string, next uint64, opts *Options) *Log {
@@ -127,7 +129,7 @@ func TestTornTailRecovery(t *testing.T) {
 		appendN(t, l, 1, 10)
 		l.Close()
 
-		segs, _ := listSegments(dir)
+		segs, _ := listSegments(faultfs.Disk, dir)
 		path := filepath.Join(dir, segs[len(segs)-1])
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -162,7 +164,7 @@ func TestBitFlipDetected(t *testing.T) {
 	appendN(t, l, 1, 5)
 	l.Close()
 
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.Disk, dir)
 	path := filepath.Join(dir, segs[0])
 	data, _ := os.ReadFile(path)
 	data[len(data)-3] ^= 0x40 // flip a bit inside the last record's payload
@@ -184,7 +186,7 @@ func TestSealedCorruptionIsAnError(t *testing.T) {
 	}
 	l.Close()
 
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.Disk, dir)
 	path := filepath.Join(dir, segs[0]) // a sealed segment
 	data, _ := os.ReadFile(path)
 	data[9] ^= 0xff
@@ -223,7 +225,7 @@ func TestMissingSegmentDetected(t *testing.T) {
 		t.Skipf("only %d segments", l.SegmentCount())
 	}
 	l.Close()
-	segs, _ := listSegments(dir)
+	segs, _ := listSegments(faultfs.Disk, dir)
 	sort.Strings(segs)
 	victim := segs[1] // a sealed middle segment
 	victimFirst, _ := parseSegmentName(victim)

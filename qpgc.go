@@ -44,6 +44,7 @@ import (
 	"io"
 
 	"repro/internal/bisim"
+	"repro/internal/faultfs"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/hop2"
@@ -161,6 +162,63 @@ var ErrStoreClosed = store.ErrClosed
 // passed but the durable directory already holds state; pass a nil graph
 // to recover it instead.
 var ErrStoreStateExists = store.ErrStateExists
+
+// Self-healing and integrity. A durable store runs an explicit health state
+// machine: transient write-path faults are retried with capped backoff,
+// persistent ones flip the store to a degraded read-only mode (reads keep
+// serving the last published epoch) while a background recovery loop
+// re-probes the directory and re-arms the write path; an optional scrubber
+// re-verifies checkpoints and sealed WAL segments against their checksums,
+// quarantining corrupt files and repairing from the in-memory epoch.
+type (
+	// StoreHealth is a point-in-time health report of a durable store
+	// (Store.Health / ShardedStore.Health).
+	StoreHealth = store.Health
+	// StoreHealthState is the write-path state: StoreHealthy or
+	// StoreDegraded.
+	StoreHealthState = store.HealthState
+	// StoreScrubReport summarizes one integrity scrub pass
+	// (Store.ScrubNow / ShardedStore.ScrubNow).
+	StoreScrubReport = store.ScrubReport
+	// StoreDirScrub is the result of an offline ScrubStoreDir walk.
+	StoreDirScrub = store.DirScrub
+)
+
+// Health states of a durable store's write path.
+const (
+	// StoreHealthy means writes are accepted and the WAL is armed.
+	StoreHealthy = store.Healthy
+	// StoreDegraded means the write path is down: writes fail fast with
+	// the degradation reason while reads serve the last published epoch.
+	StoreDegraded = store.Degraded
+)
+
+// ScrubStoreDir verifies a closed durable directory offline: every
+// snapshot and WAL segment is re-read and checked against its stored
+// CRC-32C sums. Torn final segments are reported as healable, not corrupt.
+func ScrubStoreDir(dir string) (StoreDirScrub, error) { return store.ScrubDir(dir) }
+
+// Fault injection. FaultFS is the filesystem seam threaded through the
+// durable store's WAL and snapshot IO; NewFaultInject wraps a filesystem
+// with a deterministic fault schedule for robustness testing.
+type (
+	// FaultFS is the pluggable filesystem interface (nil means the real
+	// disk).
+	FaultFS = faultfs.FS
+	// FaultRule is one deterministic fault in an injection schedule.
+	FaultRule = faultfs.Rule
+	// FaultInject is a filesystem wrapper that fires FaultRules.
+	FaultInject = faultfs.Inject
+)
+
+// NewFaultInject wraps fs (nil = the real disk) with a fault schedule.
+func NewFaultInject(fs FaultFS, rules ...FaultRule) *FaultInject {
+	return faultfs.NewInject(fs, rules...)
+}
+
+// ParseFaultPlan parses the textual fault-schedule DSL
+// ("enospc@120+40,sync@300+3%wal-") used by qpgc serve -faults.
+func ParseFaultPlan(spec string) ([]FaultRule, error) { return faultfs.ParsePlan(spec) }
 
 // SyncMode is the durable store's WAL fsync policy.
 type SyncMode = store.SyncMode
