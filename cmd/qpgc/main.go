@@ -8,7 +8,9 @@
 //	qpgc reach     -in g.txt -from 3 -to 17
 //	qpgc gen       -kind social|web|citation|p2p|er -v 1000 -e 5000 -l 4 -out g.txt [-seed n]
 //	qpgc workload  -in g.txt -ops 10000 -write 0.05 -out w.txt [-seed n]
-//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify] [-data dir] [-sync always|none]
+//	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify] [-data dir] [-sync always|none] [-listen addr]
+//	qpgc replica   -leader addr -data dir [-listen addr]
+//	qpgc client    -addr addr [-workload w.txt] [-from u -to v] [-stats] [-verify -addrs a,b,c]
 //	qpgc checkpoint -data dir
 //	qpgc recover    -data dir [-verify] [-pairs n]
 //	qpgc scrub      -data dir [-repair]
@@ -45,6 +47,18 @@
 // deterministic fault schedule into the store's filesystem (see the rule
 // DSL in internal/faultfs: "enospc@120+40,sync@300+3%wal-") to demonstrate
 // exactly that machinery.
+//
+// serve -listen fronts the same store over TCP (the wire protocol of
+// internal/server); with -data the endpoint also ships snapshots and WAL
+// segments, so "replica" can follow it: a replica bootstraps its -data
+// from the leader's snapshot, tails the WAL (each shipped record's
+// sequence number is the batch epoch it reproduces), and serves read
+// queries on -listen. Every response carries the epoch it was answered
+// at; reads may pin a minimum epoch, which a lagging replica holds — so a
+// session that writes to the leader and reads from a replica still reads
+// its own writes. "client" drives an endpoint: one-shot queries, a
+// workload file, or -verify, the quiesced differential that checks all
+// -addrs answer a seeded query set identically at the leader's epoch.
 package main
 
 import (
@@ -78,6 +92,10 @@ func main() {
 		cmdWorkload(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
+	case "replica":
+		cmdReplica(os.Args[2:])
+	case "client":
+		cmdClient(os.Args[2:])
 	case "checkpoint":
 		cmdCheckpoint(os.Args[2:])
 	case "recover":
@@ -90,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|checkpoint|recover|scrub> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|replica|client|checkpoint|recover|scrub> [flags]")
 	os.Exit(2)
 }
 

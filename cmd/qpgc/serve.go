@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/queries"
+	"repro/internal/server"
 	"repro/internal/store"
 )
 
@@ -103,11 +104,13 @@ func cmdServe(args []string) {
 	syncFlag := fs.String("sync", "always", "WAL fsync policy with -data: always|none")
 	faults := fs.String("faults", "", "fault-injection plan for the durable filesystem (e.g. \"enospc@120+40,sync@300+3%wal-\")")
 	scrubIvl := fs.Duration("scrub", 0, "background integrity-scrub interval with -data (0 = off)")
+	listen := fs.String("listen", "", "serve the store over TCP on this address (with -data, replicas may tail it)")
+	maxqps := fs.Int("maxqps", 0, "network read admission cap, queries/s (0 = uncapped)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	fs.Parse(args)
-	if *workload == "" {
-		fatal(fmt.Errorf("serve: -workload is required"))
+	if *workload == "" && *listen == "" {
+		fatal(fmt.Errorf("serve: -workload is required (or -listen to serve over the network only)"))
 	}
 	if *readers < 1 {
 		fatal(fmt.Errorf("serve: -readers must be >= 1"))
@@ -147,19 +150,22 @@ func cmdServe(args []string) {
 	if *scrubIvl > 0 && *data == "" {
 		fatal(fmt.Errorf("serve: -scrub verifies durable state and requires -data"))
 	}
-	wf, err := os.Open(*workload)
-	if err != nil {
-		fatal(err)
-	}
-	wl, err := gen.ParseWorkload(wf)
-	wf.Close()
-	if err != nil {
-		fatal(err)
-	}
-	ops := wl.Ops
-	// -batch wins over the file's directive; both absent means scalar.
-	if *qbatch == 0 {
-		*qbatch = wl.Batch
+	var ops []gen.Op
+	if *workload != "" {
+		wf, err := os.Open(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		wl, err := gen.ParseWorkload(wf)
+		wf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		ops = wl.Ops
+		// -batch wins over the file's directive; both absent means scalar.
+		if *qbatch == 0 {
+			*qbatch = wl.Batch
+		}
 	}
 	if *qbatch == 0 {
 		*qbatch = 1
@@ -196,6 +202,7 @@ func cmdServe(args []string) {
 	}
 
 	var backend serveBackend
+	var netBackend server.Backend
 	shardCount := 1
 	if sharded {
 		s, err := store.OpenSharded(g, &store.ShardedOptions{
@@ -209,6 +216,7 @@ func cmdServe(args []string) {
 		defer s.Close()
 		checkOps(s.Stats().Nodes)
 		shardCount = s.Stats().Shards
+		netBackend = server.NewShardedBackend(s)
 		var health func() store.Health
 		if *data != "" {
 			health = s.Health
@@ -295,6 +303,7 @@ func cmdServe(args []string) {
 		}
 		defer s.Close()
 		checkOps(s.Stats().Nodes)
+		netBackend = server.NewStoreBackend(s)
 		var health func() store.Health
 		if *data != "" {
 			health = s.Health
@@ -378,6 +387,30 @@ func cmdServe(args []string) {
 					fmt.Println("verify: G and Gr answers agree on every observed snapshot")
 				}
 			},
+		}
+	}
+	// -listen fronts the same store over TCP, concurrently with any local
+	// workload drive; with -data set the endpoint also ships snapshots and
+	// WAL segments to replicas.
+	if *listen != "" {
+		srv, err := server.Start(*listen, server.Options{
+			Backend: netBackend, ReplDir: *data, MaxQPS: *maxqps,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		repl := "off"
+		if *data != "" {
+			repl = "on"
+		}
+		fmt.Printf("listening on %s (replication %s)\n", srv.Addr(), repl)
+		if *workload == "" {
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			<-ctx.Done()
+			stop()
+			fmt.Printf("server: %d requests served\n", srv.Requests())
+			return
 		}
 	}
 	stopProf := startCPUProfile(*cpuprofile)

@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Replication experiment shape: every serving node — leader and followers
+// alike — is capped at replCapQPS admitted reads/s (the server's token
+// bucket), modeling a node of fixed serving capacity. The experiment then
+// measures CAPACITY multiplication from adding read replicas, which is the
+// property replication buys; it stays meaningful on a single-core CI host,
+// where raw aggregate throughput would only measure scheduler contention.
+const (
+	replCapQPS   = 1500
+	replFollower = 2
+	replBatches  = 10
+	replBatchSz  = 32
+	replMeasure  = 1200 * time.Millisecond
+	replConns    = 2 // client connections per endpoint
+)
+
+// ExpReplicate measures the serving tier end to end over real TCP: a
+// durable leader takes a write stream, two followers bootstrap from its
+// snapshot and tail its WAL, and read throughput is driven against (a) the
+// leader alone and (b) the whole replica set, every node capped at the
+// same admitted-reads/s capacity. The followers' answers are sampled
+// against the leader's at the final epoch; the diff column must read ok.
+func ExpReplicate(cfg Config) *Table {
+	t := &Table{
+		ID:    "replicate",
+		Title: "WAL-shipping read replicas: aggregate capacity vs a single store",
+		Header: []string{"dataset", "epoch", "leader q/s", fmt.Sprintf("+%d followers q/s", replFollower),
+			"scale", "lag catch-up", "diff"},
+		Notes: []string{
+			fmt.Sprintf("every node admits at most %d reads/s (server token bucket): the columns compare serving capacity, not one host's core count", replCapQPS),
+			"followers bootstrap from the leader's checkpoint, then tail its WAL over TCP; record seq = batch epoch",
+			"lag catch-up = time for both followers to reach the leader's final epoch after the write stream",
+			"diff = follower answers vs leader answers on sampled pairs at the final epoch (must be ok)",
+		},
+	}
+	for _, name := range []string{"socEpinions", "citHepTh"} {
+		d, ok := gen.DatasetByName(name)
+		if !ok {
+			continue
+		}
+		d = d.Scale(cfg.Scale)
+		t.Rows = append(t.Rows, replicateRow(cfg, name, d))
+	}
+	return t
+}
+
+// replicateRow runs the full leader + followers lifecycle for one dataset.
+func replicateRow(cfg Config, name string, d gen.Dataset) []string {
+	dir, err := os.MkdirTemp("", "qpgc-repl-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	g := d.Build(cfg.Seed)
+	s, err := store.Open(g, &store.Options{Indexes: true, Dir: dir, Sync: store.SyncNone})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	srv, err := server.Start("127.0.0.1:0", server.Options{
+		Backend: server.NewStoreBackend(s), ReplDir: dir, MaxQPS: replCapQPS,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	// Write stream first, replicas attach mid-history: bootstrap + WAL
+	// catch-up both happen, as they would on a live cluster.
+	wrng := rand.New(rand.NewSource(cfg.Seed + 23))
+	mirror := d.Build(cfg.Seed)
+	half := replBatches / 2
+	applyBatches := func(k int) {
+		for i := 0; i < k; i++ {
+			b := gen.RandomBatch(wrng, mirror, replBatchSz, 0.5)
+			mirror.Apply(b)
+			if _, err := s.ApplyBatch(b); err != nil {
+				panic(err)
+			}
+		}
+	}
+	applyBatches(half)
+
+	var followers []*replica.Follower
+	var fsrvs []*server.Server
+	for i := 0; i < replFollower; i++ {
+		fdir, err := os.MkdirTemp("", "qpgc-repl-f*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(fdir)
+		f, err := replica.Start(replica.Options{
+			Dir: fdir, Leader: srv.Addr(), PollInterval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer f.Close()
+		fs, err := server.Start("127.0.0.1:0", server.Options{Backend: f, MaxQPS: replCapQPS})
+		if err != nil {
+			panic(err)
+		}
+		defer fs.Close()
+		followers = append(followers, f)
+		fsrvs = append(fsrvs, fs)
+	}
+	applyBatches(replBatches - half)
+	epoch := s.Snapshot().Epoch
+
+	catchStart := time.Now()
+	for _, f := range followers {
+		if err := f.WaitCaughtUp(30 * time.Second); err != nil {
+			panic(err)
+		}
+	}
+	catchUp := time.Since(catchStart)
+
+	n := mirror.NumNodes()
+	leaderOnly := measureQPS([]string{srv.Addr()}, n, epoch)
+	addrs := []string{srv.Addr()}
+	for _, fs := range fsrvs {
+		addrs = append(addrs, fs.Addr())
+	}
+	cluster := measureQPS(addrs, n, epoch)
+
+	// Differential sample: followers must answer exactly like the leader
+	// at the final epoch.
+	diff := "ok"
+	qrng := rand.New(rand.NewSource(cfg.Seed + 24))
+	for i := 0; i < cfg.Pairs; i++ {
+		u := graph.Node(qrng.Intn(n))
+		v := graph.Node(qrng.Intn(n))
+		want := s.Reachable(u, v)
+		for _, f := range followers {
+			if f.Reachable(u, v, false) != want {
+				diff = "FAIL"
+			}
+		}
+	}
+
+	return []string{
+		name,
+		fmt.Sprintf("%d", epoch),
+		fmt.Sprintf("%.0f", leaderOnly),
+		fmt.Sprintf("%.0f", cluster),
+		fmt.Sprintf("%.1fx", cluster/leaderOnly),
+		ms(catchUp),
+		diff,
+	}
+}
+
+// measureQPS drives scalar reachability reads (pinned to epoch, so every
+// answer is current) over replConns connections per endpoint and returns
+// the aggregate queries/s. An uncounted warmup phase first drains each
+// node's token-bucket burst allowance, so the counted window measures the
+// steady-state admission rate rather than accumulated burst credit.
+func measureQPS(addrs []string, numNodes int, epoch uint64) float64 {
+	const warmup = 1100 * time.Millisecond // > the bucket's 1s burst window
+	var served atomic.Int64
+	start := time.Now().Add(warmup)
+	deadline := start.Add(replMeasure)
+	var wg sync.WaitGroup
+	for ai, addr := range addrs {
+		for c := 0; c < replConns; c++ {
+			wg.Add(1)
+			go func(addr string, seed int64) {
+				defer wg.Done()
+				cli, err := server.Dial(addr)
+				if err != nil {
+					panic(err)
+				}
+				defer cli.Close()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					now := time.Now()
+					if !now.Before(deadline) {
+						return
+					}
+					u := graph.Node(rng.Intn(numNodes))
+					v := graph.Node(rng.Intn(numNodes))
+					if _, _, err := cli.Reachable(u, v, epoch, false); err != nil {
+						panic(err)
+					}
+					if now.After(start) {
+						served.Add(1)
+					}
+				}
+			}(addr, int64(ai*replConns+c+1))
+		}
+	}
+	wg.Wait()
+	return float64(served.Load()) / replMeasure.Seconds()
+}

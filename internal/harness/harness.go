@@ -125,6 +125,7 @@ func Experiments() []Experiment {
 		{"shard", "Sharded vs monolithic store: build, cut size, write throughput", ExpShard},
 		{"restart", "Durable store restart: cold rebuild vs snapshot load vs WAL replay", ExpRestart},
 		{"faults", "Self-healing under injected write faults: retry, degrade, recover", ExpFaults},
+		{"replicate", "WAL-shipping read replicas: aggregate capacity vs single store", ExpReplicate},
 	}
 }
 

@@ -20,7 +20,7 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig12e", "fig12f", "fig12g", "fig12h", "fig12i", "fig12j", "fig12k", "fig12l",
-		"serve", "batch", "shard", "restart", "faults"}
+		"serve", "batch", "shard", "restart", "faults", "replicate"}
 	if len(Experiments()) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(Experiments()), len(want))
 	}
@@ -178,6 +178,44 @@ func TestRestartRecoversExactly(t *testing.T) {
 		}
 		if attempt == 3 {
 			t.Fatal("snapshot load slower than cold rebuild on all three attempts")
+		}
+	}
+}
+
+// TestReplicateMultipliesCapacity pins the acceptance criterion of the
+// replicate experiment: with every node capped at the same admitted-
+// reads/s capacity, a leader plus two followers must serve at least 1.8×
+// the leader-only aggregate, and the followers' answers must match the
+// leader's exactly. The margin is ~3.0× by construction (three equal-cap
+// nodes), so like the other wall-clock tests one noisy run is tolerated.
+func TestReplicateMultipliesCapacity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives TCP servers for several seconds")
+	}
+	cfg := QuickConfig()
+	for attempt := 1; ; attempt++ {
+		tab := ExpReplicate(cfg)
+		if len(tab.Rows) == 0 {
+			t.Fatal("replicate produced no rows")
+		}
+		scaled := true
+		for _, row := range tab.Rows {
+			if row[6] != "ok" {
+				t.Fatalf("%s: follower answers diverged from the leader", row[0])
+			}
+			scale, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+			if err != nil {
+				t.Fatalf("bad scale cell %q: %v", row[4], err)
+			}
+			if scale < 1.8 {
+				scaled = false
+			}
+		}
+		if scaled {
+			return
+		}
+		if attempt == 3 {
+			t.Fatal("replica set under 1.8x leader-only capacity on all three attempts")
 		}
 	}
 }

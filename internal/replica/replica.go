@@ -1,0 +1,448 @@
+// Package replica turns a durable store directory into a read replica: it
+// bootstraps from the leader's newest snapfile checkpoint, then tails the
+// leader's WAL by polling for raw frames and re-applying them locally.
+//
+// The design leans entirely on one invariant the storage layer already
+// guarantees: a WAL record's sequence number IS the batch's epoch. A
+// follower's catch-up position is therefore just its own store epoch; its
+// staleness is the leader epoch minus that; and the read-your-writes token
+// a leader hands out on Apply is directly comparable to any follower's
+// published snapshot. Applying a shipped record through the follower's own
+// durable store re-logs it in the follower's WAL before acknowledgement,
+// so a SIGKILLed follower recovers to an epoch it already served — RYW
+// tokens never move backward across a crash.
+//
+// Shipped bytes are untrusted. Every frame is re-validated with
+// wal.ParseRecord (CRC), its embedded seq must equal both the claimed seq
+// and the follower's next epoch, and the decoded batch must apply at
+// exactly that epoch. Any violation is a quarantine event: the connection
+// is dropped and catch-up restarts from the follower's own epoch — wrong
+// answers are never served. A follower that cannot make progress (or whose
+// tail position the leader has truncated) wipes its directory and
+// re-bootstraps from a fresh snapshot, keeping the old snapshot serving
+// reads until the new store is live.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// Options configures a Follower.
+type Options struct {
+	// Dir is the follower's own durable directory. Required.
+	Dir string
+	// Leader is the leader's replication address. Required.
+	Leader string
+	// FS is the filesystem the follower's local store runs on. Nil means
+	// the disk; chaos tests inject faults into local durability here.
+	FS faultfs.FS
+	// Sync is the local WAL fsync policy. Followers default to SyncNone:
+	// the leader is the durability authority, and a follower that loses a
+	// machine (not just a process) re-bootstraps anyway.
+	Sync store.SyncMode
+	// PollInterval is the tail poll cadence once caught up. 0 means 25ms.
+	PollInterval time.Duration
+	// ReconnectBackoff is the delay before redialing a dropped leader
+	// connection. 0 means 100ms.
+	ReconnectBackoff time.Duration
+	// ResyncAfter is how many consecutive quarantine events without epoch
+	// progress trigger a full wipe-and-re-bootstrap. 0 means 5.
+	ResyncAfter int
+}
+
+// Status is a point-in-time view of a follower's replication state.
+type Status struct {
+	// Epoch is the follower's published snapshot epoch (its RYW token
+	// watermark); LeaderEpoch is the leader's epoch at the last completed
+	// tail round. Lag is their difference.
+	Epoch, LeaderEpoch, Lag uint64
+	// CaughtUp reports the last tail round ended with nothing missing.
+	CaughtUp bool
+	// Quarantines counts rejected shipped frames (CRC/seq/decode/apply
+	// violations); Reconnects counts dropped leader connections;
+	// Resyncs counts full snapshot re-bootstraps.
+	Quarantines, Reconnects, Resyncs uint64
+	// Err is the most recent replication error, "" when none.
+	Err string
+}
+
+// Follower is a live read replica. It satisfies server.Backend, so a
+// Server can front it directly; Apply always returns server.ErrReadOnly.
+type Follower struct {
+	opts Options
+	kind string
+
+	mu     sync.RWMutex   // guards b/closer across resync swaps
+	b      server.Backend // local store, swapped on resync
+	closer interface{ Close() error }
+
+	leaderEpoch atomic.Uint64
+	caughtUp    atomic.Bool
+	quarantines atomic.Uint64
+	reconnects  atomic.Uint64
+	resyncs     atomic.Uint64
+	lastErr     atomic.Value // string
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// errQuarantine tags shipped-frame validation failures: the frame is
+// rejected, the connection dropped, and catch-up restarts — as opposed to
+// plain IO errors, which only reconnect.
+var errQuarantine = errors.New("replica: shipped frame rejected")
+
+// Start bootstraps (if dir holds no durable state) and opens the local
+// store, then begins tailing the leader in the background. A dir that
+// already holds state — a restarted follower — skips the snapshot and
+// catches up from its own recovered epoch.
+func Start(opts Options) (*Follower, error) {
+	if opts.Dir == "" || opts.Leader == "" {
+		return nil, errors.New("replica: Dir and Leader are required")
+	}
+	if opts.PollInterval == 0 {
+		opts.PollInterval = 25 * time.Millisecond
+	}
+	if opts.ReconnectBackoff == 0 {
+		opts.ReconnectBackoff = 100 * time.Millisecond
+	}
+	if opts.ResyncAfter == 0 {
+		opts.ResyncAfter = 5
+	}
+	f := &Follower{opts: opts, stop: make(chan struct{})}
+	if !store.HasState(opts.Dir) {
+		if err := f.bootstrap(); err != nil {
+			return nil, err
+		}
+	}
+	b, closer, kind, err := openLocal(opts)
+	if err != nil {
+		return nil, err
+	}
+	f.b, f.closer, f.kind = b, closer, kind
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.tailLoop()
+	}()
+	return f, nil
+}
+
+// bootstrap fetches the leader's newest checkpoint and installs it as
+// this directory's initial durable state.
+func (f *Follower) bootstrap() error {
+	cli, err := server.Dial(f.opts.Leader)
+	if err != nil {
+		return fmt.Errorf("replica: bootstrap dial: %w", err)
+	}
+	defer cli.Close()
+	kind, epoch, data, err := cli.FetchSnapshot()
+	if err != nil {
+		return fmt.Errorf("replica: snapshot fetch: %w", err)
+	}
+	if err := store.InstallSnapshot(f.opts.Dir, kind, epoch, data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// openLocal recovers the directory's store and wraps it as a backend.
+func openLocal(opts Options) (server.Backend, interface{ Close() error }, string, error) {
+	info, err := store.Inspect(opts.Dir)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	switch info.Kind {
+	case "store":
+		s, err := store.Open(nil, &store.Options{Dir: opts.Dir, FS: opts.FS, Sync: opts.Sync})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return server.NewStoreBackend(s), s, "store", nil
+	case "sharded":
+		s, err := store.OpenSharded(nil, &store.ShardedOptions{Dir: opts.Dir, FS: opts.FS, Sync: opts.Sync})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return server.NewShardedBackend(s), s, "sharded", nil
+	}
+	return nil, nil, "", fmt.Errorf("replica: unknown store kind %q in %s", info.Kind, opts.Dir)
+}
+
+// backend returns the currently serving local store.
+func (f *Follower) backend() server.Backend {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.b
+}
+
+// Close stops replication and closes the local store. The final snapshot
+// remains answerable by any handles already taken.
+func (f *Follower) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(f.stop)
+	f.wg.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// Status reports the follower's replication state.
+func (f *Follower) Status() Status {
+	st := Status{
+		Epoch:       f.backend().Epoch(),
+		LeaderEpoch: f.leaderEpoch.Load(),
+		CaughtUp:    f.caughtUp.Load(),
+		Quarantines: f.quarantines.Load(),
+		Reconnects:  f.reconnects.Load(),
+		Resyncs:     f.resyncs.Load(),
+	}
+	if st.LeaderEpoch > st.Epoch {
+		st.Lag = st.LeaderEpoch - st.Epoch
+	}
+	if e, ok := f.lastErr.Load().(string); ok {
+		st.Err = e
+	}
+	return st
+}
+
+// WaitCaughtUp blocks until the follower has completed a tail round with
+// nothing missing, or the timeout passes.
+func (f *Follower) WaitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !f.caughtUp.Load() {
+		if time.Now().After(deadline) {
+			st := f.Status()
+			return fmt.Errorf("replica: not caught up after %v (epoch %d, leader %d, err %q)", timeout, st.Epoch, st.LeaderEpoch, st.Err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// tailLoop dials, tails, and recovers until Close. Each connection runs
+// tail rounds from the follower's own epoch; validation failures drop the
+// connection (quarantine), repeated failure without progress triggers a
+// full resync, and ErrSnapshotNeeded re-bootstraps immediately.
+func (f *Follower) tailLoop() {
+	stuck := 0
+	lastEpoch := f.backend().Epoch()
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		if err := f.tailConn(); err != nil {
+			f.lastErr.Store(err.Error())
+			// Only integrity failures count toward the resync trigger: a
+			// flapping TCP connection or a briefly absent leader heals by
+			// reconnecting, and wiping the directory for it would turn a
+			// network blip into a full re-bootstrap.
+			counts := true
+			switch {
+			case errors.Is(err, server.ErrSnapshotNeeded):
+				stuck = f.opts.ResyncAfter // resync now
+			case errors.Is(err, errQuarantine):
+				f.quarantines.Add(1)
+			default:
+				f.reconnects.Add(1)
+				counts = false
+			}
+			if e := f.backend().Epoch(); e > lastEpoch {
+				lastEpoch, stuck = e, 0
+			} else if counts {
+				stuck++
+			}
+			if stuck >= f.opts.ResyncAfter {
+				if rerr := f.resync(); rerr != nil {
+					f.lastErr.Store(rerr.Error())
+				} else {
+					stuck = 0
+					lastEpoch = f.backend().Epoch()
+				}
+			}
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(f.opts.ReconnectBackoff):
+		}
+	}
+}
+
+// tailConn runs tail rounds on one leader connection until an error or
+// Close. A nil return only happens at Close.
+func (f *Follower) tailConn() error {
+	cli, err := server.Dial(f.opts.Leader)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	for {
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+		before := f.backend().Epoch()
+		leaderEpoch, err := cli.TailRound(before+1, f.applyFrame)
+		if err != nil {
+			return err
+		}
+		f.leaderEpoch.Store(leaderEpoch)
+		after := f.backend().Epoch()
+		f.caughtUp.Store(after >= leaderEpoch)
+		if after > before {
+			continue // still draining a backlog; poll again immediately
+		}
+		select {
+		case <-f.stop:
+			return nil
+		case <-time.After(f.opts.PollInterval):
+		}
+	}
+}
+
+// applyFrame validates one shipped WAL frame end to end and applies it at
+// exactly its sequence number. Frames at or below the local epoch are
+// duplicates from segment re-reads and are skipped; anything else that
+// does not line up perfectly is quarantined.
+func (f *Follower) applyFrame(claimed uint64, frame []byte) error {
+	seq, payload, _, err := wal.ParseRecord(frame)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errQuarantine, err)
+	}
+	if seq != claimed {
+		return fmt.Errorf("%w: frame embeds seq %d, leader claims %d", errQuarantine, seq, claimed)
+	}
+	b := f.backend()
+	want := b.Epoch() + 1
+	if seq < want {
+		return nil // duplicate of an already-applied epoch
+	}
+	if seq > want {
+		return fmt.Errorf("%w: gap: got seq %d, want %d", errQuarantine, seq, want)
+	}
+	batch, err := store.DecodeBatch(payload, b.NumNodes())
+	if err != nil {
+		return fmt.Errorf("%w: %v", errQuarantine, err)
+	}
+	epoch, err := b.Apply(batch)
+	if err != nil {
+		// A local write failure (degraded store, disk fault) is not the
+		// leader's fault; retry after reconnect without quarantining.
+		return fmt.Errorf("replica: local apply: %w", err)
+	}
+	if epoch != seq {
+		return fmt.Errorf("%w: batch %d applied at epoch %d; replica diverged", errQuarantine, seq, epoch)
+	}
+	return nil
+}
+
+// resync is the last-resort recovery: fetch a fresh snapshot, wipe the
+// directory, install, and reopen — swapping the serving backend only once
+// the new store is live. Reads keep answering on the old store's final
+// snapshot throughout.
+func (f *Follower) resync() error {
+	f.resyncs.Add(1)
+	cli, err := server.Dial(f.opts.Leader)
+	if err != nil {
+		return fmt.Errorf("replica: resync dial: %w", err)
+	}
+	kind, epoch, data, err := cli.FetchSnapshot()
+	cli.Close()
+	if err != nil {
+		return fmt.Errorf("replica: resync fetch: %w", err)
+	}
+	// The image is fully validated by InstallSnapshot before the old state
+	// is touched beyond this point's directory wipe.
+	f.mu.Lock()
+	old := f.closer
+	f.mu.Unlock()
+	if old != nil {
+		old.Close() // final snapshot stays answerable
+	}
+	if err := wipeDir(f.opts.Dir); err != nil {
+		return err
+	}
+	if err := store.InstallSnapshot(f.opts.Dir, kind, epoch, data); err != nil {
+		return err
+	}
+	b, closer, k, err := openLocal(f.opts)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.b, f.closer, f.kind = b, closer, k
+	f.mu.Unlock()
+	f.caughtUp.Store(false)
+	return nil
+}
+
+// wipeDir removes every entry of dir, leaving the directory itself.
+func wipeDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Epoch implements server.Backend: the local published snapshot epoch.
+func (f *Follower) Epoch() uint64 { return f.backend().Epoch() }
+
+// NumNodes implements server.Backend.
+func (f *Follower) NumNodes() int { return f.backend().NumNodes() }
+
+// Reachable implements server.Backend on the local snapshot.
+func (f *Follower) Reachable(u, v graph.Node, onG bool) bool {
+	return f.backend().Reachable(u, v, onG)
+}
+
+// BatchReachable implements server.Backend on the local snapshot.
+func (f *Follower) BatchReachable(us, vs []graph.Node) []bool {
+	return f.backend().BatchReachable(us, vs)
+}
+
+// Match implements server.Backend on the local snapshot.
+func (f *Follower) Match(p *pattern.Pattern) *pattern.Result {
+	return f.backend().Match(p)
+}
+
+// Apply implements server.Backend: followers refuse writes.
+func (f *Follower) Apply([]graph.Update) (uint64, error) {
+	return 0, server.ErrReadOnly
+}
+
+// Info implements server.Backend, reporting the local store's summary
+// with the kind a follower actually serves.
+func (f *Follower) Info() server.Info {
+	in := f.backend().Info()
+	in.Kind = f.kind
+	return in
+}

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// ErrReadOnly is returned by Apply on backends that cannot accept writes
+// (followers). The server relays it as a MsgErr so clients can redirect
+// writes to the leader.
+var ErrReadOnly = errors.New("server: read-only replica")
+
+// Backend is what the server needs from a store: snapshot-consistent reads,
+// batch writes returning the visibility epoch, and enough metadata to
+// validate wire input before it reaches the store. Store, ShardedStore and
+// replica followers all satisfy it.
+type Backend interface {
+	// Epoch is the latest published snapshot epoch; reads carrying a
+	// larger minEpoch are held until it catches up.
+	Epoch() uint64
+	// NumNodes bounds the node ids wire requests may name.
+	NumNodes() int
+	// Reachable answers one reachability query on the current snapshot;
+	// onG answers on the uncompressed graph instead of the quotient.
+	Reachable(u, v graph.Node, onG bool) bool
+	// BatchReachable answers n queries on one snapshot.
+	BatchReachable(us, vs []graph.Node) []bool
+	// Match answers a pattern query on the current snapshot.
+	Match(p *pattern.Pattern) *pattern.Result
+	// Apply submits one batch and returns its visibility epoch (the RYW
+	// token); read-only backends return ErrReadOnly.
+	Apply(batch []graph.Update) (uint64, error)
+	// Info summarizes the store for MsgStats.
+	Info() Info
+}
+
+// storeBackend fronts a monolithic Store.
+type storeBackend struct{ s *store.Store }
+
+// NewStoreBackend adapts a Store to the serving interface.
+func NewStoreBackend(s *store.Store) Backend { return storeBackend{s} }
+
+func (b storeBackend) Epoch() uint64 { return b.s.Snapshot().Epoch }
+
+func (b storeBackend) NumNodes() int { return b.s.Snapshot().G.NumNodes() }
+
+func (b storeBackend) Reachable(u, v graph.Node, onG bool) bool {
+	if onG {
+		return b.s.ReachableOnG(u, v)
+	}
+	return b.s.Reachable(u, v)
+}
+
+func (b storeBackend) BatchReachable(us, vs []graph.Node) []bool {
+	return b.s.BatchReachable(us, vs)
+}
+
+func (b storeBackend) Match(p *pattern.Pattern) *pattern.Result { return b.s.Match(p) }
+
+func (b storeBackend) Apply(batch []graph.Update) (uint64, error) {
+	res, err := b.s.ApplyBatch(batch)
+	if err != nil {
+		return 0, err
+	}
+	return res.Epoch, nil
+}
+
+func (b storeBackend) Info() Info {
+	st := b.s.Stats()
+	return Info{
+		Kind:  "store",
+		Epoch: st.Epoch, Batches: st.Batches, Updates: st.Updates, Reads: st.Reads,
+		Nodes: st.Nodes, Edges: st.Edges, Shards: 1,
+	}
+}
+
+// shardedBackend fronts a ShardedStore.
+type shardedBackend struct{ s *store.ShardedStore }
+
+// NewShardedBackend adapts a ShardedStore to the serving interface.
+func NewShardedBackend(s *store.ShardedStore) Backend { return shardedBackend{s} }
+
+func (b shardedBackend) Epoch() uint64 { return b.s.Snapshot().Epoch }
+
+func (b shardedBackend) NumNodes() int {
+	st := b.s.Stats()
+	return st.Nodes
+}
+
+func (b shardedBackend) Reachable(u, v graph.Node, onG bool) bool {
+	if onG {
+		return b.s.ReachableOnG(u, v)
+	}
+	return b.s.Reachable(u, v)
+}
+
+func (b shardedBackend) BatchReachable(us, vs []graph.Node) []bool {
+	return b.s.BatchReachable(us, vs)
+}
+
+func (b shardedBackend) Match(p *pattern.Pattern) *pattern.Result { return b.s.Match(p) }
+
+func (b shardedBackend) Apply(batch []graph.Update) (uint64, error) {
+	res, err := b.s.ApplyBatch(batch)
+	if err != nil {
+		return 0, err
+	}
+	return res.Epoch, nil
+}
+
+func (b shardedBackend) Info() Info {
+	st := b.s.Stats()
+	return Info{
+		Kind:  "sharded",
+		Epoch: st.Epoch, Batches: st.Batches, Updates: st.Updates, Reads: st.Reads,
+		Nodes: st.Nodes, Edges: st.Edges, Shards: st.Shards,
+	}
+}

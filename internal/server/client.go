@@ -1,0 +1,386 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/pattern"
+	"repro/internal/store"
+)
+
+// ErrSnapshotNeeded is returned by Tail when the requested seq predates
+// the leader's oldest retained WAL segment: the follower's state is too
+// old to catch up by log shipping and must re-bootstrap from a snapshot.
+var ErrSnapshotNeeded = errors.New("server: tail position truncated; snapshot needed")
+
+// Client is a synchronous wire-protocol client. One request is in flight
+// at a time (methods serialize); it remembers the largest epoch any
+// response carried and offers it as the default read-your-writes token.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+
+	epochMu   sync.Mutex
+	lastEpoch uint64
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// LastEpoch is the largest epoch seen in any response: the session's
+// read-your-writes token. Pass it as minEpoch to read your own writes on
+// another endpoint.
+func (c *Client) LastEpoch() uint64 {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	return c.lastEpoch
+}
+
+// noteEpoch folds a response epoch into the session token (monotonic).
+func (c *Client) noteEpoch(e uint64) {
+	c.epochMu.Lock()
+	if e > c.lastEpoch {
+		c.lastEpoch = e
+	}
+	c.epochMu.Unlock()
+}
+
+// roundTrip sends one frame and reads one response frame. The returned
+// body aliases the client's buffer: decode before the next call.
+func (c *Client) roundTrip(t MsgType, body []byte) (MsgType, []byte, error) {
+	if err := WriteFrame(c.bw, t, body); err != nil {
+		return 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	rt, rbody, err := ReadFrame(c.br, c.buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.buf = rbody[:0]
+	return rt, rbody, nil
+}
+
+// decodeErr turns a MsgErr body into an error (noting its epoch).
+func (c *Client) decodeErr(body []byte) error {
+	cur := &cursor{b: body}
+	epoch := cur.u64()
+	msg := cur.rest()
+	if cur.err != nil {
+		return fmt.Errorf("server: malformed error response")
+	}
+	c.noteEpoch(epoch)
+	return fmt.Errorf("server: %s", msg)
+}
+
+// Ping checks liveness and returns the server's current epoch.
+func (c *Client) Ping() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgPing, nil)
+	if err != nil {
+		return 0, err
+	}
+	switch t {
+	case MsgEpoch:
+		cur := &cursor{b: body}
+		e := cur.u64()
+		if err := cur.fin(); err != nil {
+			return 0, err
+		}
+		c.noteEpoch(e)
+		return e, nil
+	case MsgErr:
+		return 0, c.decodeErr(body)
+	}
+	return 0, fmt.Errorf("server: unexpected response 0x%02x to ping", byte(t))
+}
+
+// Reachable asks one reachability query at minEpoch or later; onG answers
+// on the uncompressed graph. It returns the answer and the epoch it was
+// computed at.
+func (c *Client) Reachable(u, v graph.Node, minEpoch uint64, onG bool) (bool, uint64, error) {
+	req := binary.LittleEndian.AppendUint64(nil, minEpoch)
+	req = binary.LittleEndian.AppendUint32(req, uint32(u))
+	req = binary.LittleEndian.AppendUint32(req, uint32(v))
+	if onG {
+		req = append(req, 1)
+	} else {
+		req = append(req, 0)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgReach, req)
+	if err != nil {
+		return false, 0, err
+	}
+	switch t {
+	case MsgBool:
+		cur := &cursor{b: body}
+		epoch := cur.u64()
+		ans := cur.u8()
+		if err := cur.fin(); err != nil {
+			return false, 0, err
+		}
+		c.noteEpoch(epoch)
+		return ans == 1, epoch, nil
+	case MsgErr:
+		return false, 0, c.decodeErr(body)
+	}
+	return false, 0, fmt.Errorf("server: unexpected response 0x%02x to reach", byte(t))
+}
+
+// BatchReachable asks len(us) queries answered on one snapshot at
+// minEpoch or later.
+func (c *Client) BatchReachable(us, vs []graph.Node, minEpoch uint64) ([]bool, uint64, error) {
+	if len(us) != len(vs) {
+		return nil, 0, fmt.Errorf("server: %d sources vs %d targets", len(us), len(vs))
+	}
+	req := binary.LittleEndian.AppendUint64(nil, minEpoch)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(us)))
+	for _, u := range us {
+		req = binary.LittleEndian.AppendUint32(req, uint32(u))
+	}
+	for _, v := range vs {
+		req = binary.LittleEndian.AppendUint32(req, uint32(v))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgBatchReach, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch t {
+	case MsgBools:
+		cur := &cursor{b: body}
+		epoch := cur.u64()
+		k := cur.u32()
+		raw := cur.take(int(k))
+		if err := cur.fin(); err != nil {
+			return nil, 0, err
+		}
+		out := make([]bool, k)
+		for i, b := range raw {
+			out[i] = b == 1
+		}
+		c.noteEpoch(epoch)
+		return out, epoch, nil
+	case MsgErr:
+		return nil, 0, c.decodeErr(body)
+	}
+	return nil, 0, fmt.Errorf("server: unexpected response 0x%02x to batch reach", byte(t))
+}
+
+// Match asks a pattern query at minEpoch or later.
+func (c *Client) Match(p *pattern.Pattern, minEpoch uint64) (*pattern.Result, uint64, error) {
+	req := binary.LittleEndian.AppendUint64(nil, minEpoch)
+	req = EncodePattern(req, p)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgMatch, req)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch t {
+	case MsgMatched:
+		cur := &cursor{b: body}
+		epoch := cur.u64()
+		res, rerr := decodeResult(cur)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		c.noteEpoch(epoch)
+		return res, epoch, nil
+	case MsgErr:
+		return nil, 0, c.decodeErr(body)
+	}
+	return nil, 0, fmt.Errorf("server: unexpected response 0x%02x to match", byte(t))
+}
+
+// Apply submits one update batch and returns its visibility epoch — the
+// read-your-writes token for subsequent reads anywhere in the fleet.
+func (c *Client) Apply(batch []graph.Update) (uint64, error) {
+	req := store.EncodeBatch(nil, batch)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgApply, req)
+	if err != nil {
+		return 0, err
+	}
+	switch t {
+	case MsgApplied:
+		cur := &cursor{b: body}
+		epoch := cur.u64()
+		if err := cur.fin(); err != nil {
+			return 0, err
+		}
+		c.noteEpoch(epoch)
+		return epoch, nil
+	case MsgErr:
+		return 0, c.decodeErr(body)
+	}
+	return 0, fmt.Errorf("server: unexpected response 0x%02x to apply", byte(t))
+}
+
+// Stats fetches the server's store summary.
+func (c *Client) Stats() (Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgStats, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	switch t {
+	case MsgInfo:
+		in, derr := decodeInfo(body)
+		if derr != nil {
+			return Info{}, derr
+		}
+		c.noteEpoch(in.Epoch)
+		return in, nil
+	case MsgErr:
+		return Info{}, c.decodeErr(body)
+	}
+	return Info{}, fmt.Errorf("server: unexpected response 0x%02x to stats", byte(t))
+}
+
+// FetchSnapshot downloads the leader's newest checkpoint image.
+func (c *Client) FetchSnapshot() (kind string, epoch uint64, data []byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, MsgSnapshot, nil); err != nil {
+		return "", 0, nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return "", 0, nil, err
+	}
+	t, body, err := ReadFrame(c.br, c.buf)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	c.buf = body[:0]
+	switch t {
+	case MsgErr:
+		return "", 0, nil, c.decodeErr(body)
+	case MsgSnapMeta:
+	default:
+		return "", 0, nil, fmt.Errorf("server: unexpected response 0x%02x to snapshot", byte(t))
+	}
+	cur := &cursor{b: body}
+	epoch = cur.u64()
+	total := cur.u64()
+	kind = string(cur.rest())
+	if cur.err != nil {
+		return "", 0, nil, cur.err
+	}
+	if total > 1<<32 {
+		return "", 0, nil, fmt.Errorf("server: snapshot claims %d bytes", total)
+	}
+	data = make([]byte, 0, total)
+	for {
+		t, body, err := ReadFrame(c.br, c.buf)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		c.buf = body[:0]
+		switch t {
+		case MsgSnapChunk:
+			cc := &cursor{b: body}
+			cc.u64() // chunk epoch, redundant with meta
+			chunk := cc.rest()
+			if cc.err != nil {
+				return "", 0, nil, cc.err
+			}
+			if uint64(len(data)+len(chunk)) > total {
+				return "", 0, nil, fmt.Errorf("server: snapshot overruns its declared %d bytes", total)
+			}
+			data = append(data, chunk...)
+		case MsgSnapDone:
+			if uint64(len(data)) != total {
+				return "", 0, nil, fmt.Errorf("server: snapshot ended at %d of %d bytes", len(data), total)
+			}
+			c.noteEpoch(epoch)
+			return kind, epoch, data, nil
+		case MsgErr:
+			return "", 0, nil, c.decodeErr(body)
+		default:
+			return "", 0, nil, fmt.Errorf("server: unexpected frame 0x%02x in snapshot stream", byte(t))
+		}
+	}
+}
+
+// TailRound asks for WAL frames from seq. fn is called once per shipped
+// frame with the leader's claimed seq and the raw WAL frame (CRC intact;
+// validate with wal.ParseRecord). It returns the leader's current epoch
+// from the closing MsgCaughtUp, or ErrSnapshotNeeded when from has been
+// truncated away. The frame passed to fn aliases the read buffer — decode
+// within the call.
+func (c *Client) TailRound(from uint64, fn func(seq uint64, frame []byte) error) (leaderEpoch uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := binary.LittleEndian.AppendUint64(nil, from)
+	if err := WriteFrame(c.bw, MsgTail, req); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	for {
+		t, body, err := ReadFrame(c.br, c.buf)
+		if err != nil {
+			return 0, err
+		}
+		c.buf = body[:0]
+		switch t {
+		case MsgRecord:
+			cur := &cursor{b: body}
+			seq := cur.u64()
+			frame := cur.rest()
+			if cur.err != nil {
+				return 0, cur.err
+			}
+			if err := fn(seq, frame); err != nil {
+				// The handler rejected a frame; the stream position is lost,
+				// so surface it and let the follower reconnect.
+				return 0, err
+			}
+		case MsgCaughtUp:
+			cur := &cursor{b: body}
+			e := cur.u64()
+			if err := cur.fin(); err != nil {
+				return 0, err
+			}
+			c.noteEpoch(e)
+			return e, nil
+		case MsgSnapNeeded:
+			return 0, ErrSnapshotNeeded
+		case MsgErr:
+			return 0, c.decodeErr(body)
+		default:
+			return 0, fmt.Errorf("server: unexpected frame 0x%02x in tail stream", byte(t))
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Backend serves the queries and writes. Required.
+	Backend Backend
+	// ReplDir, when set, is the backend's durable directory: the server
+	// answers MsgSnapshot/MsgTail from it, making this node a replication
+	// source. Empty disables replication serving.
+	ReplDir string
+	// ShipFS is the filesystem the replication source reads segments and
+	// snapshots through. Nil means the disk; chaos tests substitute a
+	// faultfs.Inject to corrupt shipped bytes deterministically.
+	ShipFS faultfs.FS
+	// MaxQPS caps admitted read requests per second (token bucket), 0 = no
+	// cap. It models a node's fixed serving capacity: the replicate
+	// harness experiment uses it so aggregate throughput measures capacity
+	// multiplication rather than one machine's core count.
+	MaxQPS int
+	// EpochWaitTimeout bounds how long a read waits for its minEpoch (the
+	// RYW token) before failing. 0 means 5s.
+	EpochWaitTimeout time.Duration
+	// TailBytes bounds one MsgTail round's shipped payload. 0 means 1 MiB.
+	TailBytes int
+}
+
+// Server answers the wire protocol on a listener: queries and writes
+// against its Backend, snapshot and WAL-frame shipping for followers.
+type Server struct {
+	opts    Options
+	backend Backend
+	tailer  *Tailer
+	limiter *rateLimiter
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	requests atomic.Uint64
+	waits    atomic.Uint64
+}
+
+// New builds a Server; Serve or Start runs it.
+func New(opts Options) *Server {
+	s := &Server{opts: opts, backend: opts.Backend, conns: make(map[net.Conn]struct{})}
+	if opts.ReplDir != "" {
+		s.tailer = NewTailer(opts.ReplDir, opts.ShipFS)
+	}
+	if opts.MaxQPS > 0 {
+		s.limiter = newRateLimiter(opts.MaxQPS)
+	}
+	if s.opts.EpochWaitTimeout == 0 {
+		s.opts.EpochWaitTimeout = 5 * time.Second
+	}
+	if s.opts.TailBytes == 0 {
+		s.opts.TailBytes = 1 << 20
+	}
+	return s
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background; Close stops it.
+func Start(addr string, opts Options) (*Server, error) {
+	s := New(opts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return s, nil
+}
+
+// Addr is the bound listen address (after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections on ln until Close; it owns ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.ln = ln
+	s.acceptLoop(ln)
+	if s.closed.Load() {
+		return nil
+	}
+	return errors.New("server: accept loop exited")
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, drops live connections and waits for handlers.
+// It does not close the Backend — the caller owns the store.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Requests counts frames handled since start.
+func (s *Server) Requests() uint64 { return s.requests.Load() }
+
+// serveConn runs one connection's request loop: frames in, frames out,
+// strictly in order. A malformed frame gets a MsgErr response and the
+// connection stays up; only IO errors drop it.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var buf []byte
+	emit := func(t MsgType, body []byte) error {
+		return WriteFrame(bw, t, body)
+	}
+	for {
+		t, body, err := ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		buf = body[:0] // reuse; handleRequest never retains body
+		s.requests.Add(1)
+		if err := s.handleRequest(t, body, emit); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// errBody builds a MsgErr body at the current epoch.
+func (s *Server) errBody(err error) []byte {
+	body := binary.LittleEndian.AppendUint64(nil, s.backend.Epoch())
+	return append(body, err.Error()...)
+}
+
+// waitEpoch blocks until the backend's published epoch reaches minEpoch —
+// the read-your-writes hold — or the configured timeout passes.
+func (s *Server) waitEpoch(minEpoch uint64) (uint64, error) {
+	e := s.backend.Epoch()
+	if e >= minEpoch {
+		return e, nil
+	}
+	s.waits.Add(1)
+	deadline := time.Now().Add(s.opts.EpochWaitTimeout)
+	sleep := 100 * time.Microsecond
+	for {
+		if time.Now().After(deadline) {
+			return e, fmt.Errorf("server: epoch %d not reached within %v (at %d)", minEpoch, s.opts.EpochWaitTimeout, e)
+		}
+		time.Sleep(sleep)
+		if sleep < 2*time.Millisecond {
+			sleep *= 2
+		}
+		if e = s.backend.Epoch(); e >= minEpoch {
+			return e, nil
+		}
+	}
+}
+
+// handleRequest decodes one request frame and emits its response frames.
+// It returns an error only for IO failure on emit; protocol-level problems
+// become MsgErr responses. FuzzHandleRequest drives this function with
+// arbitrary frames: whatever arrives, it must neither panic nor emit an
+// unparseable response.
+func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte) error) error {
+	switch t {
+	case MsgPing:
+		return emit(MsgEpoch, binary.LittleEndian.AppendUint64(nil, s.backend.Epoch()))
+
+	case MsgReach:
+		s.admitRead()
+		c := &cursor{b: body}
+		minEpoch := c.u64()
+		u, v := c.u32(), c.u32()
+		onG := c.u8()
+		if err := c.fin(); err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		n := uint32(s.backend.NumNodes())
+		if u >= n || v >= n {
+			return emit(MsgErr, s.errBody(fmt.Errorf("server: node id outside [0,%d)", n)))
+		}
+		epoch, err := s.waitEpoch(minEpoch)
+		if err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		out := binary.LittleEndian.AppendUint64(nil, epoch)
+		if s.backend.Reachable(graph.Node(u), graph.Node(v), onG == 1) {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		return emit(MsgBool, out)
+
+	case MsgBatchReach:
+		s.admitRead()
+		c := &cursor{b: body}
+		minEpoch := c.u64()
+		k := c.u32()
+		if c.err == nil && int64(k) > int64(len(body)-c.off)/8 {
+			return emit(MsgErr, s.errBody(fmt.Errorf("server: batch claims %d pairs in %d bytes", k, len(body)-c.off)))
+		}
+		us := make([]graph.Node, k)
+		vs := make([]graph.Node, k)
+		n := uint32(s.backend.NumNodes())
+		for i := range us {
+			us[i] = graph.Node(c.u32())
+		}
+		for i := range vs {
+			vs[i] = graph.Node(c.u32())
+		}
+		if err := c.fin(); err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		for i := range us {
+			if uint32(us[i]) >= n || uint32(vs[i]) >= n {
+				return emit(MsgErr, s.errBody(fmt.Errorf("server: pair %d names node outside [0,%d)", i, n)))
+			}
+		}
+		epoch, err := s.waitEpoch(minEpoch)
+		if err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		res := s.backend.BatchReachable(us, vs)
+		out := binary.LittleEndian.AppendUint64(nil, epoch)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(res)))
+		for _, b := range res {
+			if b {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		}
+		return emit(MsgBools, out)
+
+	case MsgMatch:
+		s.admitRead()
+		c := &cursor{b: body}
+		minEpoch := c.u64()
+		p, perr := decodePattern(c)
+		if perr == nil {
+			perr = c.fin()
+		}
+		if perr != nil {
+			return emit(MsgErr, s.errBody(perr))
+		}
+		epoch, err := s.waitEpoch(minEpoch)
+		if err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		res := s.backend.Match(p)
+		out := binary.LittleEndian.AppendUint64(nil, epoch)
+		out = encodeResult(out, res)
+		return emit(MsgMatched, out)
+
+	case MsgApply:
+		batch, err := store.DecodeBatch(body, s.backend.NumNodes())
+		if err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		epoch, err := s.backend.Apply(batch)
+		if err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		return emit(MsgApplied, binary.LittleEndian.AppendUint64(nil, epoch))
+
+	case MsgStats:
+		if len(body) != 0 {
+			return emit(MsgErr, s.errBody(errors.New("server: stats takes no body")))
+		}
+		return emit(MsgInfo, encodeInfo(nil, s.backend.Info()))
+
+	case MsgSnapshot:
+		return s.handleSnapshot(body, emit)
+
+	case MsgTail:
+		return s.handleTail(body, emit)
+
+	default:
+		return emit(MsgErr, s.errBody(fmt.Errorf("server: unknown request type 0x%02x", byte(t))))
+	}
+}
+
+// snapChunkBytes is the snapshot transfer chunk size.
+const snapChunkBytes = 1 << 20
+
+// handleSnapshot streams the newest checkpoint: meta, chunks, done. The
+// bytes are read through the ship FS and not validated here — the
+// follower's InstallSnapshot fully decodes the image before trusting it.
+func (s *Server) handleSnapshot(body []byte, emit func(MsgType, []byte) error) error {
+	if s.tailer == nil {
+		return emit(MsgErr, s.errBody(errors.New("server: not a replication source")))
+	}
+	if len(body) != 0 {
+		return emit(MsgErr, s.errBody(errors.New("server: snapshot takes no body")))
+	}
+	info, err := store.Inspect(s.opts.ReplDir)
+	if err != nil {
+		return emit(MsgErr, s.errBody(err))
+	}
+	data, err := s.tailer.fs.ReadFile(s.opts.ReplDir + "/" + info.Snapshot)
+	if err != nil {
+		return emit(MsgErr, s.errBody(err))
+	}
+	meta := binary.LittleEndian.AppendUint64(nil, info.Epoch)
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(data)))
+	meta = append(meta, info.Kind...)
+	if err := emit(MsgSnapMeta, meta); err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += snapChunkBytes {
+		end := off + snapChunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+end-off), info.Epoch)
+		chunk = append(chunk, data[off:end]...)
+		if err := emit(MsgSnapChunk, chunk); err != nil {
+			return err
+		}
+	}
+	return emit(MsgSnapDone, binary.LittleEndian.AppendUint64(nil, info.Epoch))
+}
+
+// handleTail ships one poll's worth of raw WAL frames from the requested
+// seq, ending with MsgCaughtUp (current durable epoch) or MsgSnapNeeded.
+func (s *Server) handleTail(body []byte, emit func(MsgType, []byte) error) error {
+	if s.tailer == nil {
+		return emit(MsgErr, s.errBody(errors.New("server: not a replication source")))
+	}
+	c := &cursor{b: body}
+	from := c.u64()
+	if err := c.fin(); err != nil {
+		return emit(MsgErr, s.errBody(err))
+	}
+	if from == 0 {
+		// Seq 0 never exists (epochs are 1-based); a follower at epoch 0
+		// tails from 1.
+		from = 1
+	}
+	batch, err := s.tailer.Next(from, s.opts.TailBytes)
+	if err != nil {
+		return emit(MsgErr, s.errBody(err))
+	}
+	if batch.SnapNeeded {
+		return emit(MsgSnapNeeded, binary.LittleEndian.AppendUint64(nil, batch.Oldest))
+	}
+	for i, frame := range batch.Frames {
+		out := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+len(frame)), batch.Seqs[i])
+		out = append(out, frame...)
+		if err := emit(MsgRecord, out); err != nil {
+			return err
+		}
+	}
+	return emit(MsgCaughtUp, binary.LittleEndian.AppendUint64(nil, s.backend.Epoch()))
+}
+
+// admitRead blocks until the read rate limiter grants a token (no-op when
+// MaxQPS is unset).
+func (s *Server) admitRead() {
+	if s.limiter != nil {
+		s.limiter.wait()
+	}
+}
+
+// rateLimiter is a token bucket refilled continuously at qps, holding at
+// most one second of burst.
+type rateLimiter struct {
+	mu     sync.Mutex
+	qps    float64
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(qps int) *rateLimiter {
+	return &rateLimiter{qps: float64(qps), tokens: 1, last: time.Now()}
+}
+
+// wait takes one token, sleeping until the refill supplies it.
+func (l *rateLimiter) wait() {
+	for {
+		l.mu.Lock()
+		now := time.Now()
+		l.tokens += now.Sub(l.last).Seconds() * l.qps
+		l.last = now
+		if l.tokens > l.qps {
+			l.tokens = l.qps
+		}
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return
+		}
+		need := time.Duration((1 - l.tokens) / l.qps * float64(time.Second))
+		l.mu.Unlock()
+		time.Sleep(need)
+	}
+}

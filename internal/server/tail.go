@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/faultfs"
+	"repro/internal/wal"
+)
+
+// Tailer reads raw WAL frames out of a live durable directory for
+// shipping. It deliberately splits frames by their size field WITHOUT
+// validating checksums: the follower's wal.ParseRecord is the single
+// integrity gate, so damage anywhere on the shipping path — leader disk,
+// the read seam, the wire — is caught by the same check (and chaos tests
+// inject read faults right here to prove it). An incomplete frame at the
+// end of the newest segment is the writer mid-append, not damage: the
+// tailer stops there and the next poll picks it up.
+type Tailer struct {
+	dir string
+	fs  faultfs.FS
+}
+
+// NewTailer reads WAL segments in dir through fsys (nil means the disk).
+func NewTailer(dir string, fsys faultfs.FS) *Tailer {
+	return &Tailer{dir: dir, fs: faultfs.Or(fsys)}
+}
+
+// walSeg is one on-disk segment, named by its first record's seq.
+type walSeg struct {
+	name  string
+	first uint64
+}
+
+// segments lists wal-*.seg files ascending by first seq.
+func (t *Tailer) segments() ([]walSeg, error) {
+	entries, err := t.fs.ReadDir(t.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []walSeg
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+		first, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue // not ours
+		}
+		segs = append(segs, walSeg{name: name, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// TailBatch is one poll's worth of shipping: raw frames (header + body,
+// exactly as logged) with their claimed seqs, whether from predates the
+// log (full resync required), and the seq the next poll should start at.
+type TailBatch struct {
+	// Frames are raw WAL frames; Seqs are their size-field-claimed seqs
+	// (unvalidated — the follower checks).
+	Frames [][]byte
+	Seqs   []uint64
+	// SnapNeeded reports that from is older than the oldest retained
+	// segment; Oldest is that segment's first seq.
+	SnapNeeded bool
+	Oldest     uint64
+	// Next is where the following poll resumes.
+	Next uint64
+}
+
+// frameHeaderBytes mirrors the WAL's framing: u32 size + u32 crc, then a
+// size-byte body beginning with the u64 seq.
+const frameHeaderBytes = 8
+
+// Next returns frames with seq >= from, up to maxBytes of them per call
+// (at least one frame regardless, so a single record larger than the
+// budget still ships).
+func (t *Tailer) Next(from uint64, maxBytes int) (TailBatch, error) {
+	segs, err := t.segments()
+	if err != nil {
+		return TailBatch{}, err
+	}
+	if len(segs) == 0 {
+		return TailBatch{Next: from}, nil
+	}
+	if from < segs[0].first {
+		return TailBatch{SnapNeeded: true, Oldest: segs[0].first, Next: from}, nil
+	}
+	// The segment containing from is the last one whose first seq is <= from.
+	start := 0
+	for i, s := range segs {
+		if s.first <= from {
+			start = i
+		}
+	}
+	batch := TailBatch{Next: from}
+	total := 0
+	for i := start; i < len(segs); i++ {
+		data, err := t.fs.ReadFile(filepath.Join(t.dir, segs[i].name))
+		if err != nil {
+			return TailBatch{}, err
+		}
+		last := i == len(segs)-1
+		off := 0
+		// A segment's records run consecutively from its filename's seq, so
+		// position determines each frame's nominal seq — the body's embedded
+		// seq may be the very corruption being shipped for the follower to
+		// reject, so it is not trusted for pagination.
+		seq := segs[i].first
+		for off < len(data) {
+			if len(data)-off < frameHeaderBytes {
+				if last {
+					return batch, nil // writer mid-append
+				}
+				return TailBatch{}, fmt.Errorf("server: sealed segment %s has a %d-byte tail", segs[i].name, len(data)-off)
+			}
+			size := int(binary.LittleEndian.Uint32(data[off:]))
+			if size < 8 || size > wal.MaxRecordBytes {
+				if last {
+					// Either a torn in-progress header or local damage the
+					// leader's own scrubber will deal with; nothing further
+					// is shippable this poll.
+					return batch, nil
+				}
+				return TailBatch{}, fmt.Errorf("server: sealed segment %s has impossible record size %d", segs[i].name, size)
+			}
+			if len(data)-off < frameHeaderBytes+size {
+				if last {
+					return batch, nil // writer mid-append
+				}
+				return TailBatch{}, fmt.Errorf("server: sealed segment %s ends mid-record", segs[i].name)
+			}
+			frame := data[off : off+frameHeaderBytes+size]
+			off += frameHeaderBytes + size
+			cur := seq
+			seq++
+			if cur < from {
+				continue // before the requested start
+			}
+			fr := make([]byte, len(frame))
+			copy(fr, frame)
+			batch.Frames = append(batch.Frames, fr)
+			batch.Seqs = append(batch.Seqs, cur)
+			batch.Next = cur + 1
+			total += len(frame)
+			if total >= maxBytes {
+				return batch, nil
+			}
+		}
+	}
+	return batch, nil
+}

@@ -224,7 +224,7 @@ func (d *durable) appendGroup(epochs []uint64, batch func(i int) []graph.Update)
 		mark := d.log.TailMark()
 		lastErr = func() error {
 			for i, e := range epochs {
-				d.encBuf = encodeBatch(d.encBuf[:0], batch(i))
+				d.encBuf = EncodeBatch(d.encBuf[:0], batch(i))
 				if err := d.log.Append(e, d.encBuf); err != nil {
 					return err
 				}
@@ -378,7 +378,7 @@ func (d *durable) removeOldSnapshots(newest uint64) error {
 // validating node ids against the snapshot's node count.
 func (d *durable) replayTail(fromEpoch uint64, numNodes int) (tail [][]graph.Update, updates uint64, err error) {
 	err = d.log.Replay(fromEpoch+1, func(seq uint64, payload []byte) error {
-		b, derr := decodeBatch(payload, numNodes)
+		b, derr := DecodeBatch(payload, numNodes)
 		if derr != nil {
 			return fmt.Errorf("store: WAL record %d: %w", seq, derr)
 		}
@@ -554,9 +554,11 @@ func Inspect(dir string) (DirInfo, error) {
 	return info, nil
 }
 
-// encodeBatch appends the WAL payload encoding of one batch to buf: a u32
-// update count, then 9 bytes per update (from, to, insert flag).
-func encodeBatch(buf []byte, batch []graph.Update) []byte {
+// EncodeBatch appends the WAL payload encoding of one batch to buf: a u32
+// update count, then 9 bytes per update (from, to, insert flag). The same
+// encoding is the Apply payload of the wire protocol and the unit of WAL
+// shipping, so leaders replicate the bytes they logged without re-encoding.
+func EncodeBatch(buf []byte, batch []graph.Update) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(batch)))
 	for _, u := range batch {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(u.From))
@@ -570,10 +572,10 @@ func encodeBatch(buf []byte, batch []graph.Update) []byte {
 	return buf
 }
 
-// decodeBatch parses a WAL batch payload, validating the declared count
+// DecodeBatch parses a WAL batch payload, validating the declared count
 // against the payload size, node ids against numNodes, and the insert
 // flag's domain — corrupt or foreign payloads error, never panic.
-func decodeBatch(payload []byte, numNodes int) ([]graph.Update, error) {
+func DecodeBatch(payload []byte, numNodes int) ([]graph.Update, error) {
 	if len(payload) < 4 {
 		return nil, fmt.Errorf("batch payload of %d bytes", len(payload))
 	}

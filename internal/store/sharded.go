@@ -76,16 +76,26 @@ type ShardedOptions struct {
 	CheckpointBytes int64
 	// FS is the filesystem the durable layer runs on, as in Options.FS.
 	FS faultfs.FS
-	// WriteRetries, RetryBackoff, RecoveryInterval, ScrubInterval and
-	// ScrubRate configure the self-healing machinery, as in Options. They
-	// apply to the coordinator's write path: the sharded store logs the
-	// global update stream through one WAL, so health is a whole-store
-	// property, not per shard.
-	WriteRetries     int
-	RetryBackoff     time.Duration
+	// The self-healing fields apply to the coordinator's write path: the
+	// sharded store logs the global update stream through one WAL, so
+	// health is a whole-store property, not per shard.
+
+	// WriteRetries is how many times a failed WAL append group is retried
+	// in place (with capped exponential backoff) before the write path
+	// degrades. 0 means the default (4); negative disables retries.
+	WriteRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt up to a cap. 0 means the default (5ms).
+	RetryBackoff time.Duration
+	// RecoveryInterval is how often a degraded store re-probes its
+	// directory to re-arm the write path. 0 means the default (250ms);
+	// negative disables background recovery.
 	RecoveryInterval time.Duration
-	ScrubInterval    time.Duration
-	ScrubRate        int64
+	// ScrubInterval enables the background integrity scrubber at this
+	// cadence; 0 (the default) disables it. ScrubNow works either way.
+	ScrubInterval time.Duration
+	// ScrubRate bounds scrub IO in bytes/sec. 0 means the default (8 MiB/s).
+	ScrubRate int64
 	// WALSegmentBytes is the WAL segment rotation threshold, as in Options.
 	WALSegmentBytes int64
 }

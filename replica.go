@@ -1,0 +1,39 @@
+package qpgc
+
+import (
+	"repro/internal/replica"
+	"repro/internal/store"
+)
+
+// Replication. A Follower is a read replica of a served durable store: it
+// bootstraps from the leader's snapshot, then tails the leader's WAL —
+// each shipped record's sequence number IS the batch epoch it produces, so
+// catch-up, staleness and read-your-writes reuse the store's ordinary
+// recovery machinery. Shipped bytes are untrusted until the follower's own
+// CRC gate passes; corrupt or diverging records quarantine the stream, and
+// a follower that cannot make progress (or whose tail position was
+// truncated away) wipes its directory and re-bootstraps rather than ever
+// serving a wrong answer (see internal/replica for the full model).
+type (
+	// Follower is a read replica; it implements ServerBackend, so it can
+	// itself be served with StartServer.
+	Follower = replica.Follower
+	// ReplicaOptions configures StartReplica (directory, leader address,
+	// cadences, resync threshold).
+	ReplicaOptions = replica.Options
+	// ReplicaStatus is a point-in-time replication report
+	// (Follower.Status): epochs, lag, and quarantine/resync counters.
+	ReplicaStatus = replica.Status
+)
+
+// StartReplica boots a follower: bootstrap from the leader if the
+// directory is empty, recover it otherwise, then tail the leader's WAL
+// until Close.
+func StartReplica(opts ReplicaOptions) (*Follower, error) { return replica.Start(opts) }
+
+// InstallStoreSnapshot writes a fetched snapshot image into an empty
+// directory as a valid durable-store checkpoint (the manual form of a
+// follower bootstrap). The image is validated before anything lands.
+func InstallStoreSnapshot(dir, kind string, epoch uint64, data []byte) error {
+	return store.InstallSnapshot(dir, kind, epoch, data)
+}

@@ -1,0 +1,53 @@
+package qpgc
+
+import (
+	"repro/internal/server"
+)
+
+// Networked serving. A Server fronts a Store or ShardedStore over TCP with
+// a length-prefixed binary protocol: reachability, batch reachability,
+// pattern matching, update batches, stats, plus snapshot fetch and WAL
+// tailing for replication. Every response carries the epoch it was
+// answered at — the session's read-your-writes token — and reads may pin a
+// minimum epoch the server waits for before answering (see
+// internal/server for the wire format).
+type (
+	// Server serves a Backend over TCP.
+	Server = server.Server
+	// ServerOptions configures NewServer/StartServer (backend, replication
+	// directory, read admission cap, epoch-wait bound).
+	ServerOptions = server.Options
+	// ServerBackend is the query surface a Server fronts: a Store, a
+	// ShardedStore, or a replica Follower.
+	ServerBackend = server.Backend
+	// ServerInfo is the stats summary returned by ServerClient.Stats.
+	ServerInfo = server.Info
+	// ServerClient is a synchronous client for one Server connection; it
+	// tracks the highest epoch it has observed (ServerClient.LastEpoch)
+	// as its read-your-writes token.
+	ServerClient = server.Client
+)
+
+// ErrServerReadOnly is returned (over the wire) for writes sent to a
+// backend that does not accept them, such as a replica Follower.
+var ErrServerReadOnly = server.ErrReadOnly
+
+// ErrSnapshotNeeded reports that a WAL tail position has been truncated
+// away on the leader; the follower must re-bootstrap from a snapshot.
+var ErrSnapshotNeeded = server.ErrSnapshotNeeded
+
+// NewStoreBackend adapts a Store for serving.
+func NewStoreBackend(s *Store) ServerBackend { return server.NewStoreBackend(s) }
+
+// NewShardedBackend adapts a ShardedStore for serving.
+func NewShardedBackend(s *ShardedStore) ServerBackend { return server.NewShardedBackend(s) }
+
+// StartServer listens on addr and serves the backend until Close. With
+// ServerOptions.ReplDir set, followers may bootstrap and tail from the
+// directory's checkpoints and WAL segments.
+func StartServer(addr string, opts ServerOptions) (*Server, error) {
+	return server.Start(addr, opts)
+}
+
+// DialServer connects a client to a Server.
+func DialServer(addr string) (*ServerClient, error) { return server.Dial(addr) }
