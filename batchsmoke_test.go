@@ -3,6 +3,7 @@ package qpgc
 import (
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -71,5 +72,112 @@ func TestBatchThroughputRegression(t *testing.T) {
 		if want := s.Reachable(us[i], vs[i]); out[i] != want {
 			t.Fatalf("batched answer %d diverged from scalar", i)
 		}
+	}
+}
+
+// TestBatchSchedThroughputRegression is the PR 8 CI gate: on a machine with
+// cores to spare, pushing a whole batch through the multi-wave scheduler
+// (which clusters lanes and runs waves on a worker pool) must sustain at
+// least the throughput of feeding the same pairs as sequential single
+// 64-lane waves. It needs >= 4 CPUs because on one P the scheduler
+// deliberately degenerates to the inline single-wave loop — there is no
+// parallelism to win, so parity, not speedup, is all one core can promise.
+func TestBatchSchedThroughputRegression(t *testing.T) {
+	if os.Getenv("QPGC_BENCH_SMOKE") == "" {
+		t.Skip("set QPGC_BENCH_SMOKE=1 to run the benchmark regression smoke")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("scheduler gate needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	rng := rand.New(rand.NewSource(22))
+	g := gen.Citation(rng, 12000, 96000, 5)
+	n := g.NumNodes()
+	const np = 2048
+	us := make([]graph.Node, np)
+	vs := make([]graph.Node, np)
+	for i := range us {
+		us[i] = graph.Node(rng.Intn(n))
+		vs[i] = graph.Node(rng.Intn(n))
+	}
+	s, err := store.Open(g, &store.Options{Indexes: true, SchedWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sustained := func(fn func()) time.Duration {
+		const rounds = 30
+		fn() // warm pools, hop2 index, hub cache
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			fn()
+		}
+		return time.Since(start) / rounds
+	}
+	single := sustained(func() {
+		for off := 0; off < np; off += 64 {
+			s.BatchReachable(us[off:off+64], vs[off:off+64])
+		}
+	})
+	sched := sustained(func() {
+		s.BatchReachable(us, vs)
+	})
+	t.Logf("single-wave: %v per %d queries (%.0f q/s)", single, np, float64(np)/single.Seconds())
+	t.Logf("scheduled:   %v per %d queries (%.0f q/s)", sched, np, float64(np)/sched.Seconds())
+	if sched > single {
+		t.Fatalf("scheduled batch slower than sequential single waves: %v vs %v per pass", sched, single)
+	}
+	st := s.SchedStats()
+	if st.Waves == 0 || st.Lanes == 0 {
+		t.Fatalf("scheduler never ran a wave: %+v", st)
+	}
+}
+
+// TestBatchSchedScalingSmoke drives the identical scheduled batch at
+// GOMAXPROCS 1 and 4 against one pinned epoch and requires real scaling
+// from the extra cores — the multi-wave point of the scheduler. The 1.7x
+// floor is deliberately below linear: CI runners share their cores, and a
+// flaky gate teaches people to ignore it.
+func TestBatchSchedScalingSmoke(t *testing.T) {
+	if os.Getenv("QPGC_BENCH_SMOKE") == "" {
+		t.Skip("set QPGC_BENCH_SMOKE=1 to run the benchmark regression smoke")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("scaling smoke needs >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	rng := rand.New(rand.NewSource(23))
+	g := gen.Citation(rng, 12000, 96000, 5)
+	n := g.NumNodes()
+	const np = 4096
+	us := make([]graph.Node, np)
+	vs := make([]graph.Node, np)
+	for i := range us {
+		us[i] = graph.Node(rng.Intn(n))
+		vs[i] = graph.Node(rng.Intn(n))
+	}
+	s, err := store.Open(g, &store.Options{Indexes: true, SchedWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	measure := func(procs int) time.Duration {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		const rounds = 20
+		s.BatchReachable(us, vs) // warm at this width
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			s.BatchReachable(us, vs)
+		}
+		return time.Since(start) / rounds
+	}
+	d1 := measure(1)
+	d4 := measure(4)
+	speedup := d1.Seconds() / d4.Seconds()
+	t.Logf("GOMAXPROCS=1: %v per %d queries (%.0f q/s)", d1, np, float64(np)/d1.Seconds())
+	t.Logf("GOMAXPROCS=4: %v per %d queries (%.0f q/s), speedup %.2fx", d4, np, float64(np)/d4.Seconds(), speedup)
+	if speedup < 1.7 {
+		t.Fatalf("scheduled batch does not scale with cores: %.2fx speedup 1->4", speedup)
 	}
 }

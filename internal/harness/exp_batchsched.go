@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// schedRounds repeats the whole query set per measurement; fewer than
+// batchRounds because every pass already sweeps the full pair set through
+// many waves.
+const schedRounds = 20
+
+// ExpBatchSched measures the multi-wave batch scheduler against the scalar
+// and single-wave batch paths on the same four topologies as the batch
+// sweep. A scheduled read hands the WHOLE pair set to Store.BatchReachable,
+// which pins one snapshot, clusters lanes by quotient-locality, and runs
+// the waves on a worker pool — so the column pair "sched w1" / "sched w4"
+// is the core-scaling axis (identical work, pool width 1 vs 4). On a
+// single-core host the two collapse to the same number; the CI smoke gate
+// asserts the w4 column only when the host actually has the cores. The
+// headline expectation is sched >= 4x scalar on every dataset, including
+// the deep citation DAG the hop2 hybrid leaf and hub reach-set cache exist
+// for — the regimes where plain lane-sharing alone falls short.
+func ExpBatchSched(cfg Config) *Table {
+	t := &Table{
+		ID:    "batchsched",
+		Title: "Multi-wave scheduled batch vs scalar reachability throughput (store)",
+		Header: []string{"dataset", "scalar q/s", "batch64 q/s",
+			"sched w1 q/s", "sched w4 q/s", "sched/scalar"},
+		Notes: []string{
+			"sched: whole pair set through Store.BatchReachable -> wave scheduler",
+			"(cluster sort by quotient locality, hop2 hybrid leaf, hub reach-set cache)",
+			fmt.Sprintf("host GOMAXPROCS %d; w1 vs w4 is scheduler pool width", runtime.GOMAXPROCS(0)),
+			"expectation: sched >= 4x scalar on every dataset, deep DAGs included",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	for _, name := range batchDatasets {
+		d, _ := gen.DatasetByName(name)
+		d = d.Scale(cfg.Scale)
+		g := d.Build(cfg.Seed)
+		n := g.NumNodes()
+		np := cfg.Pairs
+		if np < 512 {
+			np = 512
+		}
+		np -= np % 64
+		us := make([]graph.Node, np)
+		vs := make([]graph.Node, np)
+		for i := range us {
+			us[i] = graph.Node(rng.Intn(n))
+			vs[i] = graph.Node(rng.Intn(n))
+		}
+
+		s, err := store.Open(g, nil) // in-memory: cannot fail
+		if err != nil {
+			panic(err)
+		}
+		sustained := func(fn func()) time.Duration {
+			fn() // warm scratch pools, hop2 index, hub cache
+			total := timeIt(func() {
+				for r := 0; r < schedRounds; r++ {
+					fn()
+				}
+			})
+			return total / schedRounds
+		}
+		qps := func(d time.Duration) float64 { return float64(np) / d.Seconds() }
+		scalar := sustained(func() {
+			for i := range us {
+				s.Reachable(us[i], vs[i])
+			}
+		})
+		batch64 := sustained(func() {
+			for off := 0; off < np; off += 64 {
+				s.BatchReachable(us[off:off+64], vs[off:off+64])
+			}
+		})
+		s.SetSchedWorkers(1)
+		schedW1 := sustained(func() { s.BatchReachable(us, vs) })
+		s.SetSchedWorkers(4)
+		schedW4 := sustained(func() { s.BatchReachable(us, vs) })
+		best := schedW1
+		if schedW4 < best {
+			best = schedW4
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.0f", qps(scalar)),
+			fmt.Sprintf("%.0f", qps(batch64)),
+			fmt.Sprintf("%.0f", qps(schedW1)),
+			fmt.Sprintf("%.0f", qps(schedW4)),
+			fmt.Sprintf("%.2fx", scalar.Seconds()/best.Seconds()),
+		})
+		s.Close()
+	}
+	return t
+}

@@ -122,6 +122,7 @@ func Experiments() []Experiment {
 		{"fig12l", "PCr under power-law growth (real-life-like)", Fig12l},
 		{"serve", "Concurrent read throughput under a write stream (store)", ExpServe},
 		{"batch", "Batched (64-lane) vs scalar reachability throughput (store)", ExpBatch},
+		{"batchsched", "Multi-wave scheduled batch vs scalar reachability throughput (store)", ExpBatchSched},
 		{"shard", "Sharded vs monolithic store: build, cut size, write throughput", ExpShard},
 		{"restart", "Durable store restart: cold rebuild vs snapshot load vs WAL replay", ExpRestart},
 		{"faults", "Self-healing under injected write faults: retry, degrade, recover", ExpFaults},

@@ -20,7 +20,7 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig12e", "fig12f", "fig12g", "fig12h", "fig12i", "fig12j", "fig12k", "fig12l",
-		"serve", "batch", "shard", "restart", "faults", "replicate"}
+		"serve", "batch", "batchsched", "shard", "restart", "faults", "replicate"}
 	if len(Experiments()) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(Experiments()), len(want))
 	}

@@ -1,3 +1,7 @@
+// Cost models over the 2-hop index: the memory model of the Fig. 12(d)
+// comparison, and the probe-vs-sweep model that gates the hybrid batch
+// leaf (a lane peels off to a label intersection only where the labels are
+// cheaper than the lane's share of the 64-lane sweep).
 package hop2
 
 import "repro/internal/graph"
@@ -10,4 +14,28 @@ import "repro/internal/graph"
 // indexes are compared on equal terms.
 func GraphMemoryBytes(g *graph.Graph) int64 {
 	return int64(g.NumNodes())*(2*24+4) + int64(g.NumEdges())*8
+}
+
+// ProbeCost is the work of answering QR(u,v) from labels alone:
+// Reachable(u,v) merges Lout(comp(u)) against Lin(comp(v)), so its cost is
+// the sum of the two label lengths. Same-component pairs cost nothing (the
+// answer is the cyclic flag). This is the per-lane price the hybrid batch
+// leaf weighs against PeelBudget.
+func (idx *Index) ProbeCost(u, v graph.Node) int {
+	a, b := idx.comp[u], idx.comp[v]
+	if a == b {
+		return 0
+	}
+	return len(idx.lout[a]) + len(idx.lin[b])
+}
+
+// PeelBudget estimates one lane's share of a lanes-wide lane-mask sweep
+// over an n-node, e-edge quotient: the sweep touches each pending node and
+// edge once, word-parallel across all lanes, so a lane's amortized share
+// is (n+e)/lanes. A lane whose ProbeCost is at or below this budget is
+// cheaper to answer from the index than to carry through the sweep — the
+// gate of the hybrid leaf. lanes must be >= 1 (callers pass a nonempty
+// wave; there is deliberately no dead guard here).
+func PeelBudget(nodes, edges, lanes int) int {
+	return (nodes + edges) / lanes
 }

@@ -1,0 +1,144 @@
+package hop2
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestGraphMemoryBytes pins the uniform memory model: per-node and
+// per-edge contributions are exact, so the Fig. 12(d) comparison cannot
+// drift silently.
+func TestGraphMemoryBytes(t *testing.T) {
+	g := graph.New(graph.NewLabels())
+	for i := 0; i < 5; i++ {
+		g.AddNodeNamed("L0")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	want := int64(5)*(2*24+4) + int64(3)*8
+	if got := GraphMemoryBytes(g); got != want {
+		t.Fatalf("GraphMemoryBytes = %d, want %d", got, want)
+	}
+	if GraphMemoryBytes(graph.New(graph.NewLabels())) != 0 {
+		t.Fatal("empty graph must cost 0 bytes under the model")
+	}
+}
+
+// TestProbeCost pins the probe model against the label structure: the
+// cost of a cross-component pair is exactly |Lout(u)| + |Lin(v)|, and a
+// same-component pair is free (the cyclic flag answers it).
+func TestProbeCost(t *testing.T) {
+	// A chain 0->1->2->3 with a 2-cycle {4,5} hanging off node 1.
+	g := graph.New(graph.NewLabels())
+	for i := 0; i < 6; i++ {
+		g.AddNodeNamed("L0")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 4)
+	idx := Build(g)
+
+	for u := graph.Node(0); u < 6; u++ {
+		for v := graph.Node(0); v < 6; v++ {
+			got := idx.ProbeCost(u, v)
+			a, b := idx.comp[u], idx.comp[v]
+			if a == b {
+				if got != 0 {
+					t.Fatalf("ProbeCost(%d,%d) = %d for a same-component pair, want 0", u, v, got)
+				}
+				continue
+			}
+			if want := len(idx.lout[a]) + len(idx.lin[b]); got != want {
+				t.Fatalf("ProbeCost(%d,%d) = %d, want |Lout|+|Lin| = %d", u, v, got, want)
+			}
+		}
+	}
+	// Nodes 4 and 5 share one SCC: the probe is free both ways.
+	if idx.ProbeCost(4, 5) != 0 || idx.ProbeCost(5, 4) != 0 {
+		t.Fatal("same-SCC probes must cost 0")
+	}
+}
+
+// TestPeelBudget pins the gate arithmetic: the budget is the integer
+// per-lane share of the sweep, monotone in graph size and antitone in
+// lane count.
+func TestPeelBudget(t *testing.T) {
+	cases := []struct {
+		nodes, edges, lanes, want int
+	}{
+		{64, 64, 64, 2},
+		{1000, 3000, 64, 62},
+		{1000, 3000, 1, 4000},
+		{10, 5, 64, 0}, // tiny quotient: nothing peels, the sweep is free
+	}
+	for _, c := range cases {
+		if got := PeelBudget(c.nodes, c.edges, c.lanes); got != c.want {
+			t.Fatalf("PeelBudget(%d,%d,%d) = %d, want %d", c.nodes, c.edges, c.lanes, got, c.want)
+		}
+	}
+	if PeelBudget(100, 200, 2) <= PeelBudget(100, 200, 64) {
+		t.Fatal("budget must grow as lanes shrink")
+	}
+}
+
+// TestPeelGateDifferential drives the gate end to end on a random DAG:
+// whatever subset of pairs the gate peels, index answers must equal a
+// direct traversal check, so the hybrid leaf can never change answers —
+// only costs.
+func TestPeelGateDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(graph.NewLabels())
+	const n = 120
+	for i := 0; i < n; i++ {
+		g.AddNodeNamed("L0")
+	}
+	for e := 0; e < 400; e++ {
+		u := rng.Intn(n - 1)
+		v := u + 1 + rng.Intn(n-1-u)
+		g.AddEdge(graph.Node(u), graph.Node(v))
+	}
+	idx := Build(g)
+	c := g.Freeze()
+	budget := PeelBudget(c.NumNodes(), c.NumEdges(), 64)
+	peeled := 0
+	for i := 0; i < 500; i++ {
+		u := graph.Node(rng.Intn(n))
+		v := graph.Node(rng.Intn(n))
+		if idx.ProbeCost(u, v) > budget {
+			continue
+		}
+		peeled++
+		want := reachableBFS(c, u, v)
+		if got := idx.Reachable(u, v); got != want {
+			t.Fatalf("peeled lane QR(%d,%d): index says %v, traversal says %v", u, v, got, want)
+		}
+	}
+	if peeled == 0 {
+		t.Fatal("gate peeled nothing on a 120-node DAG; the budget model is broken")
+	}
+}
+
+// reachableBFS is an independent nonempty-path oracle.
+func reachableBFS(c *graph.CSR, u, v graph.Node) bool {
+	seen := make([]bool, c.NumNodes())
+	stack := append([]graph.Node(nil), c.Successors(u)...)
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[x] {
+			continue
+		}
+		seen[x] = true
+		if x == v {
+			return true
+		}
+		stack = append(stack, c.Successors(x)...)
+	}
+	return false
+}

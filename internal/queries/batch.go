@@ -405,6 +405,18 @@ finish:
 	}
 }
 
+// HubDesc supplies memoized descendant reach-sets for hub nodes of a
+// topologically ordered CSR: Desc(v) returns the bitset words of the nodes
+// reachable from v by a nonempty path (bit w of word w/64 set iff v
+// reaches w), or nil when v has no cached row. Implementations must answer
+// for the SAME snapshot the sweep traverses — a row from another epoch is
+// a wrong answer, which is why the store keeps its cache on the snapshot
+// itself (see internal/store: a cached reach-set never outlives its
+// epoch).
+type HubDesc interface {
+	Desc(v graph.Node) []uint64
+}
+
 // BatchReachableTopo answers up to MaxBatch reachability queries on a
 // TOPOLOGICALLY ORDERED CSR — every non-self-loop edge (u,v) has u < v, as
 // produced by graph.ReorderTopoPerm; reachability quotients qualify, being
@@ -423,6 +435,20 @@ finish:
 // ordering precondition is NOT checked here (it would cost O(|E|));
 // callers own it, tests pin it.
 func BatchReachableTopo(c *graph.CSR, bs *BatchScratch, us, vs []graph.Node, out []bool) {
+	BatchReachableTopoHub(c, bs, nil, us, vs, out)
+}
+
+// BatchReachableTopoHub is BatchReachableTopo with a hub reach-set cache:
+// a lane whose source has a cached row is answered O(1) at seed time, and
+// when the forward sweep pops a cached node x it settles every lane whose
+// target lies in desc(x) as true and expands x for NO lane at all — a lane
+// whose target is outside desc(x) cannot meet below x (a meet w with
+// w ∈ desc(x) ∩ anc(target) would put the target inside desc(x)), so the
+// whole subtree is pruned soundly. On deep quotients this collapses the
+// sweep at exactly the high-fanout nodes that make it expensive. It
+// returns the lanes answered from rows and the prune events, for the
+// scheduler's hit-rate accounting. A nil hub is BatchReachableTopo.
+func BatchReachableTopoHub(c *graph.CSR, bs *BatchScratch, hub HubDesc, us, vs []graph.Node, out []bool) (hubLanes, hubPrunes int) {
 	k := len(us)
 	checkBatch(k)
 	if len(vs) != k || len(out) < k {
@@ -457,6 +483,13 @@ func BatchReachableTopo(c *graph.CSR, bs *BatchScratch, us, vs []graph.Node, out
 		if v == u {
 			out[i] = c.HasEdge(u, u)
 			continue
+		}
+		if hub != nil {
+			if row := hub.Desc(u); row != nil {
+				out[i] = row[int(v)>>6]>>uint(v&63)&1 != 0
+				hubLanes++
+				continue
+			}
 		}
 		lane := uint64(1) << uint(i)
 		live |= lane
@@ -575,6 +608,30 @@ func BatchReachableTopo(c *graph.CSR, bs *BatchScratch, us, vs []graph.Node, out
 			}
 			m := (bs.pend[x] | bs.mask[x]) &^ settled
 			bs.pend[x] = 0
+			// Hub prune: a cached row decides x's whole subtree for every
+			// lane that reached x. Every lane in m got here by a nonempty
+			// path (seeded lanes at cached nodes were peeled at prefilter),
+			// so target-in-row lanes settle true; the rest cannot meet below
+			// x (see BatchReachableTopoHub) and are dropped from x's
+			// expansion without settling — other paths may still decide
+			// them. Either way x's successors are never walked.
+			if m != 0 && hub != nil {
+				if row := hub.Desc(x); row != nil {
+					hubPrunes++
+					var hit uint64
+					for mm := m; mm != 0; mm &= mm - 1 {
+						i := bits.TrailingZeros64(mm)
+						v := vs[i]
+						if row[int(v)>>6]>>uint(v&63)&1 != 0 {
+							hit |= 1 << uint(i)
+						}
+					}
+					ans |= hit
+					settled |= hit
+					m = 0
+					fCost -= c.OutDegree(x) // pop charged below; row walk is O(lanes)
+				}
+			}
 			fCost += 1 + c.OutDegree(x)
 			if m != 0 {
 				for _, y := range c.Successors(x) {
@@ -718,6 +775,7 @@ func BatchReachableTopo(c *graph.CSR, bs *BatchScratch, us, vs []graph.Node, out
 			out[i] = ans>>uint(i)&1 != 0
 		}
 	}
+	return hubLanes, hubPrunes
 }
 
 // topoTinyCutoff is the node count below which BatchReachableTopo runs the

@@ -2,6 +2,7 @@ package queries_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/gen"
@@ -238,6 +239,104 @@ func TestBatchReachableTopoMatchesScalar(t *testing.T) {
 					}
 				}
 			}
+		}
+	}
+}
+
+// oracleHub is a HubDesc over explicitly precomputed descendant bitsets,
+// built by an independent per-node BFS so the hub path is pinned against a
+// second implementation, not against the sweep it accelerates.
+type oracleHub struct {
+	rows map[graph.Node][]uint64
+}
+
+func (h *oracleHub) Desc(v graph.Node) []uint64 { return h.rows[v] }
+
+// buildOracleHub memoizes the nonempty-path descendant bitsets of the
+// `hubs` highest out-degree nodes of c.
+func buildOracleHub(c *graph.CSR, hubs int) *oracleHub {
+	n := c.NumNodes()
+	byDeg := make([]graph.Node, n)
+	for v := range byDeg {
+		byDeg[v] = graph.Node(v)
+	}
+	sort.Slice(byDeg, func(i, j int) bool { return c.OutDegree(byDeg[i]) > c.OutDegree(byDeg[j]) })
+	if hubs > n {
+		hubs = n
+	}
+	h := &oracleHub{rows: make(map[graph.Node][]uint64, hubs)}
+	for _, x := range byDeg[:hubs] {
+		row := make([]uint64, (n+63)/64)
+		stack := append([]graph.Node(nil), c.Successors(x)...)
+		seen := make([]bool, n)
+		for len(stack) > 0 {
+			y := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			row[int(y)>>6] |= 1 << uint(y&63)
+			stack = append(stack, c.Successors(y)...)
+		}
+		h.rows[x] = row
+	}
+	return h
+}
+
+// TestBatchReachableTopoHubMatchesScalar pins the hub-pruned sweep against
+// the plain topo sweep AND the scalar BFS: cached rows may only change
+// costs, never answers. The pair mix deliberately seeds lanes AT hub nodes
+// (prefilter peel) and routes lanes THROUGH them (forward-sweep prune), and
+// the test asserts both hub paths actually fired.
+func TestBatchReachableTopoHubMatchesScalar(t *testing.T) {
+	for _, tc := range []struct{ n, m, loops int }{
+		{900, 2800, 60},
+		{2000, 3500, 0},
+	} {
+		c := topoDAG(int64(tc.n), tc.n, tc.m, tc.loops)
+		hub := buildOracleHub(c, 24)
+		hubIDs := make([]graph.Node, 0, len(hub.rows))
+		for v := range hub.rows {
+			hubIDs = append(hubIDs, v)
+		}
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		sc := queries.NewScratch(0)
+		bs := queries.NewBatchScratch(0)
+		bsHub := queries.NewBatchScratch(0)
+		totLanes, totPrunes := 0, 0
+		for _, k := range []int{1, 7, 64} {
+			for round := 0; round < 8; round++ {
+				us := make([]graph.Node, k)
+				vs := make([]graph.Node, k)
+				for i := range us {
+					if i%3 == 0 { // seed at a hub: exercises the prefilter peel
+						us[i] = hubIDs[rng.Intn(len(hubIDs))]
+					} else {
+						us[i] = graph.Node(rng.Intn(tc.n))
+					}
+					vs[i] = graph.Node(rng.Intn(tc.n))
+				}
+				out := make([]bool, k)
+				outHub := make([]bool, k)
+				queries.BatchReachableTopo(c, bs, us, vs, out)
+				lanes, prunes := queries.BatchReachableTopoHub(c, bsHub, hub, us, vs, outHub)
+				totLanes += lanes
+				totPrunes += prunes
+				for i := range us {
+					want := queries.ReachableCSR(c, sc, us[i], vs[i])
+					if out[i] != want || outHub[i] != want {
+						t.Fatalf("n=%d k=%d round %d: QR(%d,%d) topo=%v hub=%v scalar=%v",
+							tc.n, k, round, us[i], vs[i], out[i], outHub[i], want)
+					}
+				}
+			}
+		}
+		if totLanes == 0 {
+			t.Fatalf("n=%d: prefilter peel never fired despite hub-seeded lanes", tc.n)
+		}
+		if totPrunes == 0 {
+			t.Fatalf("n=%d: forward-sweep hub prune never fired", tc.n)
 		}
 	}
 }

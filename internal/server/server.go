@@ -241,7 +241,17 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 			return emit(MsgErr, s.errBody(err))
 		}
 		out := binary.LittleEndian.AppendUint64(nil, epoch)
-		if s.backend.Reachable(graph.Node(u), graph.Node(v), onG == 1) {
+		// Quotient-level reads go through the wave scheduler so point
+		// queries queued by concurrent connections coalesce into shared
+		// 64-lane sweeps; onG reads bypass it (the sweep answers on the
+		// quotient only).
+		var reach bool
+		if onG == 1 {
+			reach = s.backend.Reachable(graph.Node(u), graph.Node(v), true)
+		} else {
+			reach = s.backend.SchedReachable(graph.Node(u), graph.Node(v))
+		}
+		if reach {
 			out = append(out, 1)
 		} else {
 			out = append(out, 0)

@@ -16,6 +16,7 @@ import (
 	"slices"
 
 	"repro/internal/graph"
+	"repro/internal/hop2"
 	"repro/internal/queries"
 )
 
@@ -28,17 +29,34 @@ import (
 // whose target class precedes its source class is false outright, a query
 // within one class is the class's cyclic flag, and only the remaining
 // lanes — sources strictly below targets in topological order — enter the
-// one-pass lane sweep of queries.BatchReachableTopo.
+// one-pass lane sweep of queries.BatchReachableTopoHub.
+//
+// Two hybrid leaves thin the sweep further. With 2-hop indexes on, a lane
+// whose label probe is cheaper than its share of the sweep
+// (hop2.ProbeCost vs hop2.PeelBudget over this wave's width) peels off to
+// a pure label intersection — on deep quotients, where cones are long and
+// labels short, most lanes peel. And once the snapshot has swept enough
+// lanes to amortize it, high-fanout quotient nodes get memoized
+// reach-set rows (hubcache.go) that the sweep prunes whole subtrees
+// against. Both leaves change costs only, never answers — the
+// differential tests pin that.
 func (sn *Snapshot) BatchReachable(bs *queries.BatchScratch, us, vs []graph.Node, out []bool) {
 	checkBatchArgs(len(us), len(vs), len(out))
 	rc := sn.Reach.Compressed
 	gr := sn.Reach.Gr
+	h2 := sn.Reach.Index
 	cyc := rc.CyclicClass
+	sn.bstats.lanes.Add(uint64(len(us)))
 	var ru, rv [queries.MaxBatch]graph.Node
-	var idx [queries.MaxBatch]int
+	var lidx [queries.MaxBatch]int
 	var lout [queries.MaxBatch]bool
+	var peeled, hubLanes, hubPrunes int
 	for off := 0; off < len(us); off += queries.MaxBatch {
 		end := min(off+queries.MaxBatch, len(us))
+		budget := 0
+		if h2 != nil {
+			budget = hop2.PeelBudget(gr.NumNodes(), gr.NumEdges(), end-off)
+		}
 		nl := 0
 		for i := off; i < end; i++ {
 			cu, cv := rc.Rewrite(us[i], vs[i])
@@ -50,17 +68,33 @@ func (sn *Snapshot) BatchReachable(bs *queries.BatchScratch, us, vs []graph.Node
 				out[i] = cyc[cu]
 				continue
 			}
+			if h2 != nil && h2.ProbeCost(cu, cv) <= budget {
+				out[i] = h2.Reachable(cu, cv)
+				peeled++
+				continue
+			}
 			ru[nl], rv[nl] = cu, cv
-			idx[nl] = i
+			lidx[nl] = i
 			nl++
 		}
 		if nl == 0 {
 			continue
 		}
-		queries.BatchReachableTopo(gr, bs, ru[:nl], rv[:nl], lout[:nl])
+		hl, hp := queries.BatchReachableTopoHub(gr, bs, sn.hubFor(), ru[:nl], rv[:nl], lout[:nl])
+		hubLanes += hl
+		hubPrunes += hp
 		for j := 0; j < nl; j++ {
-			out[idx[j]] = lout[j]
+			out[lidx[j]] = lout[j]
 		}
+	}
+	if peeled > 0 {
+		sn.bstats.hop2Peeled.Add(uint64(peeled))
+	}
+	if hubLanes > 0 {
+		sn.bstats.hubLanes.Add(uint64(hubLanes))
+	}
+	if hubPrunes > 0 {
+		sn.bstats.hubPrunes.Add(uint64(hubPrunes))
 	}
 }
 
@@ -115,12 +149,24 @@ func (sn *Snapshot) BatchDescendants(bs *queries.BatchScratch, us []graph.Node) 
 
 // BatchReachable answers the batch on the current snapshot, pinning one
 // epoch for all queries. Safe for any number of concurrent callers, also
-// during ApplyBatch.
+// during ApplyBatch. Batches wider than one 64-lane wave are clustered by
+// quotient-id locality and run as concurrent waves across the scheduler's
+// worker pool — still against the single snapshot pinned here, so the
+// batch is never torn across epochs.
 func (s *Store) BatchReachable(us, vs []graph.Node) []bool {
 	s.reads.Add(uint64(len(us)))
 	out := make([]bool, len(us))
+	sn := s.Snapshot()
+	if s.sched != nil && len(us) > queries.MaxBatch {
+		s.sched.runPinned(us, vs, out, func(wus, wvs []graph.Node, wout []bool) {
+			bs := s.getBatchScratch()
+			sn.BatchReachable(bs, wus, wvs, wout)
+			s.bscratch.Put(bs)
+		})
+		return out
+	}
 	bs := s.getBatchScratch()
-	s.Snapshot().BatchReachable(bs, us, vs, out)
+	sn.BatchReachable(bs, us, vs, out)
 	s.bscratch.Put(bs)
 	return out
 }
@@ -198,6 +244,8 @@ func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node
 	p := sn.p
 	k := len(us)
 	nshards := len(sn.Shards)
+	sn.bstats.lanes.Add(uint64(k))
+	peeled := 0
 	var active uint64 // lanes not yet answered true locally
 
 	// Phase A: same-shard fast path. Indexed shards answer per lane in
@@ -220,12 +268,16 @@ func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node
 				}
 			} else if cu < cv && sh.Reach.Index != nil {
 				if sh.Reach.Index.Reachable(cu, cv) {
+					peeled++ // index-answered: the sharded hybrid leaf
 					out[i] = true
 					continue
 				}
 			}
 		}
 		active |= 1 << uint(i)
+	}
+	if peeled > 0 {
+		sn.bstats.hop2Peeled.Add(uint64(peeled))
 	}
 	for s := 0; s < nshards; s++ {
 		sh := &sn.Shards[s]
@@ -344,12 +396,23 @@ func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node
 
 // BatchReachable answers the batch on the current snapshot via the sharded
 // batched route, pinning one epoch for all queries. Safe for any number of
-// concurrent callers, also during ApplyBatch.
+// concurrent callers, also during ApplyBatch. Batches wider than one wave
+// run as concurrent scheduler waves against the single pinned snapshot,
+// clustered so co-batched lanes touch few shards.
 func (s *ShardedStore) BatchReachable(us, vs []graph.Node) []bool {
 	s.reads.Add(uint64(len(us)))
 	out := make([]bool, len(us))
+	sn := s.Snapshot()
+	if s.sched != nil && len(us) > queries.MaxBatch {
+		s.sched.runPinned(us, vs, out, func(wus, wvs []graph.Node, wout []bool) {
+			brs := s.getBatchScratch()
+			sn.BatchReachable(brs, wus, wvs, wout)
+			s.bscratch.Put(brs)
+		})
+		return out
+	}
 	brs := s.getBatchScratch()
-	s.Snapshot().BatchReachable(brs, us, vs, out)
+	sn.BatchReachable(brs, us, vs, out)
 	s.bscratch.Put(brs)
 	return out
 }

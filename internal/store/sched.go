@@ -1,0 +1,609 @@
+// Multi-wave batch scheduler: a worker pool that runs many 64-lane waves
+// concurrently across cores. Two kinds of work flow through it:
+//
+//   - Pinned batches (BatchReachable calls wider than one wave): the batch
+//     pins ONE snapshot, its pairs are clustered by quotient-id locality so
+//     co-batched lanes share frontiers, and the resulting waves are claimed
+//     by the pool workers AND the calling goroutine together — the caller
+//     is never idle while its own batch runs.
+//   - Singles (SchedReachable / the network tier's queued point queries):
+//     enqueued items coalesce into shared waves cut by whichever worker
+//     wakes first, so concurrent point queries from many connections pay
+//     one lane sweep instead of one BFS each.
+//
+// An adaptive controller sizes the singles waves from OBSERVED state
+// instead of a fixed -batch n: an EWMA of queue depth at cut time sets the
+// target wave width, and an EWMA of per-wave latency bounds how long an
+// undersized cut lingers for stragglers (a fraction of one wave's cost, so
+// lingering can never dominate latency). Waves always run against the
+// snapshot current at cut time — each query still sees one consistent
+// epoch, and a pinned batch sees exactly one epoch end to end.
+package store
+
+import (
+	"math"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/queries"
+)
+
+const (
+	// schedMinPinnedWave is the floor for pinned-batch wave splitting:
+	// below it per-wave constants dominate the sweep.
+	schedMinPinnedWave = 8
+	// schedDepthGain / schedLatGain are the controller's EWMA gains for
+	// observed queue depth and per-wave latency.
+	schedDepthGain = 0.25
+	schedLatGain   = 0.2
+	// schedMaxLinger caps how long an undersized singles cut waits for
+	// stragglers regardless of what the latency EWMA suggests.
+	schedMaxLinger = 100 * time.Microsecond
+	// schedClusterMinBuckets is the locality-bucket count below which a
+	// pinned batch skips the cluster sort: the sweep's scan range is that
+	// many bitmap words wide at most, so there is nothing to narrow. Kept
+	// low on purpose — even a ~13-bucket citation quotient gains ~1.7x
+	// from sorting lanes into tight-span waves.
+	schedClusterMinBuckets = 8
+)
+
+// SchedStats is a point-in-time report of the multi-wave scheduler plus
+// the batch read path's hybrid-leaf counters, as printed by qpgc serve.
+type SchedStats struct {
+	// Workers is the pool size; WavesInFlight counts waves executing at
+	// the instant of the call (pool workers and helping callers alike).
+	Workers       int
+	WavesInFlight int
+	// Waves and Lanes count completed scheduler waves and the lanes they
+	// carried; MeanWaveSize is their ratio.
+	Waves        uint64
+	Lanes        uint64
+	MeanWaveSize float64
+	// TargetWave is the controller's current singles wave-width target
+	// (EWMA of queue depth, clamped to [1, MaxBatch]).
+	TargetWave int
+	// Singles counts point queries coalesced through the scheduler.
+	Singles uint64
+	// ClusteredLanes counts lanes placed next to a lane with the same
+	// source-locality bucket by the clustering sort; ClusterHitRate is
+	// their fraction of all scheduler lanes.
+	ClusteredLanes uint64
+	ClusterHitRate float64
+	// BatchLanes counts lanes through the batch read path (scheduled or
+	// not); the hybrid-leaf counters below are measured against it.
+	BatchLanes uint64
+	// Hop2Peeled counts lanes answered by the 2-hop hybrid leaf before
+	// the sweep ran (on the sharded store: same-shard index answers).
+	Hop2Peeled uint64
+	// HubCacheLanes counts lanes answered O(1) from hub reach-set rows,
+	// HubCachePrunes counts forward-sweep subtree prunes at cached hubs,
+	// and HubCacheHitRate is HubCacheLanes/BatchLanes.
+	HubCacheLanes   uint64
+	HubCachePrunes  uint64
+	HubCacheHitRate float64
+}
+
+// schedItem is one queued point query.
+type schedItem struct {
+	u, v graph.Node
+	res  chan bool
+}
+
+// pinnedJob is one in-flight pinned batch: perm orders the pairs by
+// cluster key (nil = identity, waves slice the batch in place), next is
+// the claim cursor, and wg counts unfinished waves.
+type pinnedJob struct {
+	us, vs []graph.Node
+	out    []bool
+	perm   []int
+	run    func(us, vs []graph.Node, out []bool)
+	n      int
+	next   int
+	wave   int
+	wg     sync.WaitGroup
+}
+
+// scheduler is the pool. The two closures bind it to a store kind: key
+// maps a pair to its 40-bit locality bucket — source bucket in bits
+// [39:20], target bucket in bits [19:0] — leaving the low 24 bits free so
+// runPinned can pack (key, lane index) into one uint64 and cluster-sort a
+// batch with slices.Sort on machine words instead of a closure sort (the
+// closure sort costs more than the sweep itself on collapsed quotients).
+// run answers one wave against the CURRENT snapshot (used for singles;
+// pinned batches carry their own snapshot-bound runner).
+type scheduler struct {
+	key     func(u, v graph.Node) uint64
+	buckets func() int // locality-bucket count hint; nil = always sort
+	run     func(us, vs []graph.Node, out []bool)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	q         []schedItem
+	jobs      []*pinnedJob
+	closed    bool
+	gen       int // bumped by setWorkers; a worker exits when it changes
+	workers   int
+	ewmaDepth float64
+
+	ewmaLatNs  atomic.Uint64 // math.Float64bits encoded
+	chans      sync.Pool     // chan bool, capacity 1
+	waveBufs   sync.Pool     // *waveBuf, MaxBatch capacity
+	pinScratch sync.Pool     // *pinScratch, grown to the largest batch
+
+	inFlight  atomic.Int64
+	waves     atomic.Uint64
+	lanes     atomic.Uint64
+	singles   atomic.Uint64
+	clustered atomic.Uint64
+}
+
+// newScheduler starts a pool of workers (0 means GOMAXPROCS). buckets, when
+// non-nil, reports how many source-locality buckets the current snapshot
+// spreads lanes over; runPinned skips the cluster sort below
+// schedClusterMinBuckets of them, because a sweep whose whole scan range is
+// a handful of bitmap words cannot be narrowed enough to repay a sort.
+func newScheduler(workers int, key func(u, v graph.Node) uint64, buckets func() int, run func(us, vs []graph.Node, out []bool)) *scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sc := &scheduler{key: key, buckets: buckets, run: run, workers: workers}
+	sc.cond = sync.NewCond(&sc.mu)
+	sc.chans.New = func() any { return make(chan bool, 1) }
+	for i := 0; i < workers; i++ {
+		go sc.worker(0)
+	}
+	return sc
+}
+
+// worker is one pool goroutine: claim pinned waves first (a caller is
+// blocked on them), otherwise cut a singles wave.
+func (sc *scheduler) worker(gen int) {
+	for {
+		sc.mu.Lock()
+		for !sc.closed && sc.gen == gen && len(sc.jobs) == 0 && len(sc.q) == 0 {
+			sc.cond.Wait()
+		}
+		if sc.closed || sc.gen != gen {
+			sc.mu.Unlock()
+			return
+		}
+		if len(sc.jobs) > 0 {
+			job := sc.jobs[0]
+			lo, hi := sc.claimLocked(job)
+			sc.mu.Unlock()
+			sc.runPinnedWave(job, lo, hi)
+			continue
+		}
+		sc.cutSinglesLocked(gen)
+	}
+}
+
+// claimLocked claims the next wave of job and unlinks the job once fully
+// claimed. Caller holds mu and guarantees the job is not exhausted.
+func (sc *scheduler) claimLocked(job *pinnedJob) (lo, hi int) {
+	lo = job.next
+	hi = min(lo+job.wave, job.n)
+	job.next = hi
+	if hi >= job.n {
+		for i, j := range sc.jobs {
+			if j == job {
+				sc.jobs = append(sc.jobs[:i], sc.jobs[i+1:]...)
+				break
+			}
+		}
+	}
+	return lo, hi
+}
+
+// waveBuf is a pooled gather/scatter buffer for one wave (<= MaxBatch
+// lanes); pooling it keeps the per-wave constant at two atomic bumps and a
+// clock read.
+type waveBuf struct {
+	us, vs []graph.Node
+	out    []bool
+}
+
+func (sc *scheduler) getWaveBuf() *waveBuf {
+	if wb, ok := sc.waveBufs.Get().(*waveBuf); ok {
+		return wb
+	}
+	return &waveBuf{
+		us:  make([]graph.Node, queries.MaxBatch),
+		vs:  make([]graph.Node, queries.MaxBatch),
+		out: make([]bool, queries.MaxBatch),
+	}
+}
+
+// pinScratch is the pooled cluster-sort scratch of one pinned batch; perm
+// stays referenced by the job's waves until wg drains, so it is returned
+// to the pool only after wg.Wait.
+type pinScratch struct {
+	packed []uint64
+	perm   []int
+}
+
+func (sc *scheduler) getPinScratch(n int) *pinScratch {
+	ps, _ := sc.pinScratch.Get().(*pinScratch)
+	if ps == nil {
+		ps = &pinScratch{}
+	}
+	if cap(ps.packed) < n {
+		ps.packed = make([]uint64, n)
+		ps.perm = make([]int, n)
+	}
+	return ps
+}
+
+// runPinnedWave gathers one claimed wave through the job's permutation
+// (identity when perm is nil: the wave is a plain slice of the batch, no
+// copies), runs it on the job's pinned-snapshot runner, and scatters the
+// answers.
+func (sc *scheduler) runPinnedWave(job *pinnedJob, lo, hi int) {
+	k := hi - lo
+	if job.perm == nil {
+		start := time.Now()
+		sc.inFlight.Add(1)
+		job.run(job.us[lo:hi], job.vs[lo:hi], job.out[lo:hi])
+		sc.inFlight.Add(-1)
+		sc.noteWave(k, time.Since(start))
+		job.wg.Done()
+		return
+	}
+	wb := sc.getWaveBuf()
+	us, vs, out := wb.us[:k], wb.vs[:k], wb.out[:k]
+	for j := 0; j < k; j++ {
+		p := job.perm[lo+j]
+		us[j], vs[j] = job.us[p], job.vs[p]
+	}
+	start := time.Now()
+	sc.inFlight.Add(1)
+	job.run(us, vs, out)
+	sc.inFlight.Add(-1)
+	sc.noteWave(k, time.Since(start))
+	for j := 0; j < k; j++ {
+		job.out[job.perm[lo+j]] = out[j]
+	}
+	sc.waveBufs.Put(wb)
+	job.wg.Done()
+}
+
+// runPinned schedules one large batch: cluster by locality key, split into
+// waves sized for the pool, let workers and the caller claim them, return
+// when every lane is answered. run must answer a wave against the batch's
+// pinned snapshot.
+func (sc *scheduler) runPinned(us, vs []graph.Node, out []bool, run func(us, vs []graph.Node, out []bool)) {
+	n := len(us)
+	// Beyond 2^24 lanes the index no longer fits under the packed key;
+	// no real batch is near that, but split defensively rather than
+	// scatter answers through colliding indexes.
+	const maxPinned = 1 << 24
+	for n >= maxPinned {
+		sc.runPinned(us[:maxPinned-1], vs[:maxPinned-1], out[:maxPinned-1], run)
+		us, vs, out = us[maxPinned-1:], vs[maxPinned-1:], out[maxPinned-1:]
+		n = len(us)
+	}
+	// Pack (40-bit locality key, lane index) into one word per lane and
+	// sort the words: adjacent lanes then share locality buckets and the
+	// low bits recover the permutation. slices.Sort on machine words is
+	// the whole point — a closure sort here costs more than the sweep on
+	// collapsed quotients. When the snapshot has too few locality buckets
+	// for the sort to narrow the sweep's scan range, skip it entirely and
+	// run waves as plain slices of the batch.
+	var ps *pinScratch
+	var perm []int
+	if sc.buckets == nil || sc.buckets() > schedClusterMinBuckets {
+		ps = sc.getPinScratch(n)
+		packed := ps.packed[:n]
+		for i := range packed {
+			packed[i] = sc.key(us[i], vs[i])<<24 | uint64(i)
+		}
+		slices.Sort(packed)
+		perm = ps.perm[:n]
+		cl := 0
+		for i, p := range packed {
+			perm[i] = int(p & (maxPinned - 1))
+			if i > 0 && p>>44 == packed[i-1]>>44 {
+				cl++
+			}
+		}
+		sc.clustered.Add(uint64(cl))
+	}
+
+	sc.mu.Lock()
+	workers := sc.workers
+	closed := sc.closed
+	sc.mu.Unlock()
+	wave := (n + workers) / (workers + 1) // the caller claims waves too
+	if wave < schedMinPinnedWave {
+		wave = schedMinPinnedWave
+	}
+	if wave > queries.MaxBatch {
+		wave = queries.MaxBatch
+	}
+	job := &pinnedJob{us: us, vs: vs, out: out, perm: perm, run: run, n: n, wave: wave}
+	// On a single P the pool cannot add parallelism — handing waves to
+	// workers only buys context switches — so the caller runs every wave
+	// itself, lock-free, with the bookkeeping batched over the whole job
+	// (one clock pair instead of one per wave: the constants matter when a
+	// collapsed quotient answers a wave in under a microsecond).
+	if runtime.GOMAXPROCS(0) == 1 {
+		nw := (n + wave - 1) / wave
+		start := time.Now()
+		sc.inFlight.Add(1)
+		if perm == nil {
+			for lo := 0; lo < n; lo += wave {
+				hi := min(lo+wave, n)
+				run(us[lo:hi], vs[lo:hi], out[lo:hi])
+			}
+		} else {
+			wb := sc.getWaveBuf()
+			for lo := 0; lo < n; lo += wave {
+				hi := min(lo+wave, n)
+				k := hi - lo
+				wus, wvs, wout := wb.us[:k], wb.vs[:k], wb.out[:k]
+				for j := 0; j < k; j++ {
+					p := perm[lo+j]
+					wus[j], wvs[j] = us[p], vs[p]
+				}
+				run(wus, wvs, wout)
+				for j := 0; j < k; j++ {
+					out[perm[lo+j]] = wout[j]
+				}
+			}
+			sc.waveBufs.Put(wb)
+		}
+		sc.inFlight.Add(-1)
+		sc.waves.Add(uint64(nw))
+		sc.lanes.Add(uint64(n))
+		sc.noteLat(time.Since(start) / time.Duration(nw))
+		if ps != nil {
+			sc.pinScratch.Put(ps)
+		}
+		return
+	}
+	job.wg.Add((n + wave - 1) / wave)
+	if !closed {
+		sc.mu.Lock()
+		if !sc.closed {
+			sc.jobs = append(sc.jobs, job)
+		}
+		sc.mu.Unlock()
+		sc.cond.Broadcast()
+	}
+	// Help drain our own job; on a closed (or closing) scheduler the help
+	// loop simply runs every wave inline.
+	for {
+		sc.mu.Lock()
+		if job.next >= job.n {
+			sc.mu.Unlock()
+			break
+		}
+		lo, hi := sc.claimLocked(job)
+		sc.mu.Unlock()
+		sc.runPinnedWave(job, lo, hi)
+	}
+	job.wg.Wait()
+	if ps != nil {
+		sc.pinScratch.Put(ps)
+	}
+}
+
+// query enqueues one point query for wave coalescing and blocks for its
+// answer; ok is false when the scheduler is closed (callers fall back to
+// the scalar path).
+func (sc *scheduler) query(u, v graph.Node) (ans, ok bool) {
+	ch := sc.chans.Get().(chan bool)
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		sc.chans.Put(ch)
+		return false, false
+	}
+	sc.q = append(sc.q, schedItem{u: u, v: v, res: ch})
+	sc.mu.Unlock()
+	sc.cond.Signal()
+	sc.singles.Add(1)
+	ans = <-ch
+	sc.chans.Put(ch)
+	return ans, true
+}
+
+// cutSinglesLocked cuts one wave from the singles queue — adapting its
+// width to the depth EWMA and lingering (bounded by a fraction of the
+// latency EWMA) when the queue is shallower than target — then runs it
+// against the current snapshot. Called with mu held; returns with mu
+// released.
+func (sc *scheduler) cutSinglesLocked(gen int) {
+	sc.ewmaDepth += schedDepthGain * (float64(len(sc.q)) - sc.ewmaDepth)
+	if len(sc.q) < sc.targetLocked() {
+		linger := time.Duration(sc.loadLat() / 4)
+		if linger > schedMaxLinger {
+			linger = schedMaxLinger
+		}
+		if linger > 0 {
+			sc.mu.Unlock()
+			time.Sleep(linger)
+			sc.mu.Lock()
+			if sc.closed || sc.gen != gen {
+				sc.mu.Unlock()
+				return
+			}
+		}
+	}
+	k := min(len(sc.q), queries.MaxBatch)
+	if k == 0 {
+		sc.mu.Unlock()
+		return
+	}
+	items := make([]schedItem, k)
+	copy(items, sc.q[:k])
+	rest := copy(sc.q, sc.q[k:])
+	sc.q = sc.q[:rest]
+	sc.mu.Unlock()
+
+	// Cluster the wave: lanes sorted by locality key share frontiers in
+	// the lane sweep.
+	keys := make([]uint64, k)
+	for i, it := range items {
+		keys[i] = sc.key(it.u, it.v)
+	}
+	sort.Sort(&keyedItems{items: items, keys: keys})
+	cl := 0
+	us := make([]graph.Node, k)
+	vs := make([]graph.Node, k)
+	out := make([]bool, k)
+	for i, it := range items {
+		us[i], vs[i] = it.u, it.v
+		if i > 0 && keys[i]>>20 == keys[i-1]>>20 {
+			cl++
+		}
+	}
+	sc.clustered.Add(uint64(cl))
+	start := time.Now()
+	sc.inFlight.Add(1)
+	sc.run(us, vs, out)
+	sc.inFlight.Add(-1)
+	sc.noteWave(k, time.Since(start))
+	for i, it := range items {
+		it.res <- out[i]
+	}
+}
+
+// keyedItems co-sorts a singles wave with its cluster keys.
+type keyedItems struct {
+	items []schedItem
+	keys  []uint64
+}
+
+func (s *keyedItems) Len() int           { return len(s.items) }
+func (s *keyedItems) Less(a, b int) bool { return s.keys[a] < s.keys[b] }
+func (s *keyedItems) Swap(a, b int) {
+	s.items[a], s.items[b] = s.items[b], s.items[a]
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+}
+
+// noteWave records one completed wave in the counters and the latency
+// EWMA. The EWMA update is a racy read-modify-write on purpose: lost
+// updates only slow adaptation, and the hot path stays lock-free.
+func (sc *scheduler) noteWave(k int, d time.Duration) {
+	sc.waves.Add(1)
+	sc.lanes.Add(uint64(k))
+	sc.noteLat(d)
+}
+
+// noteLat folds one observed per-wave latency into the controller's EWMA.
+func (sc *scheduler) noteLat(d time.Duration) {
+	old := sc.loadLat()
+	sc.ewmaLatNs.Store(math.Float64bits(old + schedLatGain*(float64(d.Nanoseconds())-old)))
+}
+
+func (sc *scheduler) loadLat() float64 { return math.Float64frombits(sc.ewmaLatNs.Load()) }
+
+// targetLocked is the controller's singles wave-width target. Caller
+// holds mu.
+func (sc *scheduler) targetLocked() int {
+	t := int(sc.ewmaDepth + 0.5)
+	if t < 1 {
+		t = 1
+	}
+	if t > queries.MaxBatch {
+		t = queries.MaxBatch
+	}
+	return t
+}
+
+// setWorkers resizes the pool: the old generation exits at its next queue
+// check and a fresh generation starts. n <= 0 means GOMAXPROCS.
+func (sc *scheduler) setWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.gen++
+	gen := sc.gen
+	sc.workers = n
+	sc.mu.Unlock()
+	sc.cond.Broadcast()
+	for i := 0; i < n; i++ {
+		go sc.worker(gen)
+	}
+}
+
+// close stops the pool and answers everything still queued inline.
+// Idempotent; safe against concurrent query/runPinned callers (they fall
+// back to inline execution once closed is visible).
+func (sc *scheduler) close() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	rest := sc.q
+	sc.q = nil
+	jobs := sc.jobs
+	sc.jobs = nil
+	sc.mu.Unlock()
+	sc.cond.Broadcast()
+	// Orphaned pinned jobs: their callers are helping too, so claim under
+	// the lock exactly as a worker would.
+	for _, job := range jobs {
+		for {
+			sc.mu.Lock()
+			if job.next >= len(job.perm) {
+				sc.mu.Unlock()
+				break
+			}
+			lo, hi := sc.claimLocked(job)
+			sc.mu.Unlock()
+			sc.runPinnedWave(job, lo, hi)
+		}
+	}
+	for off := 0; off < len(rest); off += queries.MaxBatch {
+		end := min(off+queries.MaxBatch, len(rest))
+		k := end - off
+		us := make([]graph.Node, k)
+		vs := make([]graph.Node, k)
+		out := make([]bool, k)
+		for i, it := range rest[off:end] {
+			us[i], vs[i] = it.u, it.v
+		}
+		sc.run(us, vs, out)
+		sc.noteWave(k, 0)
+		for i, it := range rest[off:end] {
+			it.res <- out[i]
+		}
+	}
+}
+
+// stats snapshots the scheduler-side counters (the store layers fill in
+// the batch read-path fields).
+func (sc *scheduler) stats() SchedStats {
+	st := SchedStats{
+		WavesInFlight:  int(sc.inFlight.Load()),
+		Waves:          sc.waves.Load(),
+		Lanes:          sc.lanes.Load(),
+		Singles:        sc.singles.Load(),
+		ClusteredLanes: sc.clustered.Load(),
+	}
+	if st.Waves > 0 {
+		st.MeanWaveSize = float64(st.Lanes) / float64(st.Waves)
+	}
+	if st.Lanes > 0 {
+		st.ClusterHitRate = float64(st.ClusteredLanes) / float64(st.Lanes)
+	}
+	sc.mu.Lock()
+	st.Workers = sc.workers
+	st.TargetWave = sc.targetLocked()
+	sc.mu.Unlock()
+	return st
+}

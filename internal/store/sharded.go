@@ -98,6 +98,9 @@ type ShardedOptions struct {
 	ScrubRate int64
 	// WALSegmentBytes is the WAL segment rotation threshold, as in Options.
 	WALSegmentBytes int64
+	// SchedWorkers sizes the multi-wave batch scheduler's worker pool, as
+	// in Options.SchedWorkers. 0 means GOMAXPROCS at Open time.
+	SchedWorkers int
 }
 
 // durableCfg projects the durable layer's cut of the options.
@@ -149,6 +152,10 @@ type ShardedSnapshot struct {
 
 	p        *part.Partition
 	crossOut [][]graph.Node // per-epoch immutable cross-shard successors
+
+	// Batch read-path counters, epoch-local like Snapshot.bstats; pure
+	// metadata, folded into the store accumulators at the next publish.
+	bstats batchCounters
 }
 
 // RouteScratch is reusable traversal state for queries against a
@@ -481,6 +488,8 @@ type ShardedStore struct {
 	scratch  sync.Pool // *RouteScratch
 	bscratch sync.Pool // *BatchRouteScratch
 
+	sched *scheduler // multi-wave batch scheduler; nil only before open finishes
+
 	reqs chan shardedApplyReq
 	idle chan struct{}
 
@@ -490,6 +499,12 @@ type ShardedStore struct {
 	batches atomic.Uint64
 	updates atomic.Uint64
 	reads   atomic.Uint64
+
+	// Batch read-path counters folded in from retired snapshots by
+	// publish, as on Store (the sharded path has no hub cache; its
+	// hybrid leaf is the per-shard 2-hop index).
+	batchLanes atomic.Uint64
+	hop2Peeled atomic.Uint64
 }
 
 // OpenSharded returns a running ShardedStore with opts.Shards
@@ -578,8 +593,27 @@ func openShardedMem(g *graph.Graph, o ShardedOptions) *ShardedStore {
 	}
 	s.roundTrip(make([][]graph.Update, o.Shards))
 	s.publish(0)
+	s.sched = s.newSched()
 	go s.run()
 	return s
+}
+
+// newSched binds a scheduler to this store: cluster keys come from the
+// static partition (shard pair buckets, source shard in the key's high
+// half per the scheduler's 40-bit layout — co-batched lanes then touch
+// few shards per wave), singles waves run the sharded batch route with
+// pooled scratch.
+func (s *ShardedStore) newSched() *scheduler {
+	return newScheduler(s.opts.SchedWorkers,
+		func(u, v graph.Node) uint64 {
+			return (uint64(s.p.ShardOf[u])&0xFFFFF)<<20 | uint64(s.p.ShardOf[v])&0xFFFFF
+		},
+		func() int { return s.opts.Shards },
+		func(us, vs []graph.Node, out []bool) {
+			brs := s.getBatchScratch()
+			s.Snapshot().BatchReachable(brs, us, vs, out)
+			s.bscratch.Put(brs)
+		})
 }
 
 // roundTrip routes the per-shard sub-batches to the shard writers and
@@ -952,6 +986,7 @@ func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
 		s.publish(epoch)
 	}
 	d.startBackground(s.persistSnapshot)
+	s.sched = s.newSched()
 	go s.run()
 	return s, nil
 }
@@ -1035,6 +1070,11 @@ func (s *ShardedStore) publish(epoch uint64) {
 		p:        s.p,
 		crossOut: append([][]graph.Node(nil), s.crossOut...),
 	}
+	// Fold the retiring snapshot's batch counters, as in Store.publish.
+	if old := s.snap.Load(); old != nil {
+		s.batchLanes.Add(old.bstats.lanes.Load())
+		s.hop2Peeled.Add(old.bstats.hop2Peeled.Load())
+	}
 	s.snap.Store(sn)
 }
 
@@ -1070,6 +1110,9 @@ func (s *ShardedStore) Close() error {
 	}
 	s.mu.Unlock()
 	<-s.idle
+	if s.sched != nil {
+		s.sched.close()
+	}
 	if s.dur != nil {
 		return s.dur.close()
 	}
@@ -1079,6 +1122,38 @@ func (s *ShardedStore) Close() error {
 // Snapshot returns the current epoch's immutable query state. Use it to
 // pin a sequence of queries to one consistent epoch.
 func (s *ShardedStore) Snapshot() *ShardedSnapshot { return s.snap.Load() }
+
+// SchedReachable answers QR(u,v) through the multi-wave scheduler, as
+// Store.SchedReachable: concurrent point queries coalesce into shared
+// waves over the sharded batch route. After Close it falls back to the
+// scalar routed path on the final snapshot.
+func (s *ShardedStore) SchedReachable(u, v graph.Node) bool {
+	s.reads.Add(1)
+	if s.sched != nil {
+		if ans, ok := s.sched.query(u, v); ok {
+			return ans
+		}
+	}
+	rs := s.getScratch()
+	ok := s.Snapshot().Reachable(rs, u, v)
+	s.scratch.Put(rs)
+	return ok
+}
+
+// SetSchedWorkers resizes the scheduler's worker pool; n <= 0 means
+// GOMAXPROCS.
+func (s *ShardedStore) SetSchedWorkers(n int) { s.sched.setWorkers(n) }
+
+// SchedStats reports the multi-wave scheduler and batch read-path
+// counters, as Store.SchedStats. The sharded store has no hub cache, so
+// the hub fields stay zero; Hop2Peeled counts same-shard index answers.
+func (s *ShardedStore) SchedStats() SchedStats {
+	st := s.sched.stats()
+	sn := s.Snapshot()
+	st.BatchLanes = s.batchLanes.Load() + sn.bstats.lanes.Load()
+	st.Hop2Peeled = s.hop2Peeled.Load() + sn.bstats.hop2Peeled.Load()
+	return st
+}
 
 // getScratch pools routing scratch across readers.
 func (s *ShardedStore) getScratch() *RouteScratch { return s.scratch.Get().(*RouteScratch) }

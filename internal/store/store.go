@@ -139,6 +139,12 @@ type Options struct {
 	// wal package default (4 MiB); smaller values seal segments sooner,
 	// giving checkpoint truncation and the scrubber finer granularity.
 	WALSegmentBytes int64
+	// SchedWorkers sizes the multi-wave batch scheduler's worker pool
+	// (sched.go): large BatchReachable calls split into waves claimed
+	// across the pool, and SchedReachable point queries coalesce into
+	// shared waves. 0 means GOMAXPROCS at Open time; SetSchedWorkers
+	// resizes a running pool.
+	SchedWorkers int
 }
 
 // durableCfg projects the durable layer's cut of the options.
@@ -201,6 +207,15 @@ type Snapshot struct {
 	// snapshot file that GOrd applies instead of recomputing.
 	gord  atomic.Pointer[graph.Reordered]
 	gperm []graph.Node
+
+	// Batch read-path state, epoch-local by construction: a fresh snapshot
+	// starts with empty counters and no hub cache, so a cached hub
+	// reach-set never outlives its epoch (see hubcache.go). Counters are
+	// metadata only — no query-visible state ever changes after
+	// publication.
+	bstats  batchCounters
+	hubOnce sync.Once
+	hub     atomic.Pointer[hubCache]
 	// Reach is the reachability-compressed read path.
 	Reach ReachView
 	// Pattern is the pattern-compressed read path.
@@ -341,6 +356,8 @@ type Store struct {
 	scratch  sync.Pool // *queries.Scratch
 	bscratch sync.Pool // *queries.BatchScratch
 
+	sched *scheduler // multi-wave batch scheduler; nil only before open finishes
+
 	reqs chan applyReq
 	idle chan struct{} // closed when the writer goroutine exits
 
@@ -350,6 +367,13 @@ type Store struct {
 	batches atomic.Uint64
 	updates atomic.Uint64
 	reads   atomic.Uint64
+
+	// Batch read-path counters folded in from retired snapshots by
+	// publish; SchedStats adds the live snapshot's share on top.
+	batchLanes atomic.Uint64
+	hop2Peeled atomic.Uint64
+	hubLanes   atomic.Uint64
+	hubPrunes  atomic.Uint64
 }
 
 // Open returns a running Store serving queries on both compressed forms
@@ -416,8 +440,28 @@ func openMem(g *graph.Graph, o Options) *Store {
 	}
 	s.scratch.New = func() any { return queries.NewScratch(n) }
 	s.publish(0)
+	s.sched = s.newSched()
 	go s.run()
 	return s
+}
+
+// newSched binds a scheduler to this store: cluster keys come from the
+// current reachability quotient (64-aligned class buckets, source in the
+// key's high half per the scheduler's 40-bit layout), singles waves run
+// the snapshot batch path with pooled scratch.
+func (s *Store) newSched() *scheduler {
+	return newScheduler(s.opts.SchedWorkers,
+		func(u, v graph.Node) uint64 {
+			sn := s.Snapshot()
+			cu, cv := sn.Reach.Compressed.Rewrite(u, v)
+			return (uint64(cu>>6)&0xFFFFF)<<20 | uint64(cv>>6)&0xFFFFF
+		},
+		func() int { return (s.Snapshot().Reach.Gr.NumNodes() + 63) / 64 },
+		func(us, vs []graph.Node, out []bool) {
+			bs := s.getBatchScratch()
+			s.Snapshot().BatchReachable(bs, us, vs, out)
+			s.bscratch.Put(bs)
+		})
 }
 
 // ensureMaintainers materializes the incremental maintainers of a store
@@ -457,6 +501,16 @@ func (s *Store) publish(epoch uint64) {
 	if s.opts.Indexes {
 		sn.Reach.Index = hop2.BuildCSR(rGr)
 		sn.Pattern.Index = hop2.BuildCSR(pGr)
+	}
+	// Fold the retiring snapshot's batch counters into the store
+	// accumulators — the epoch swap that also retires its hub cache.
+	// Readers still pinning the old snapshot may bump its counters after
+	// the fold; those late events are dropped (stats, not a ledger).
+	if old := s.snap.Load(); old != nil {
+		s.batchLanes.Add(old.bstats.lanes.Load())
+		s.hop2Peeled.Add(old.bstats.hop2Peeled.Load())
+		s.hubLanes.Add(old.bstats.hubLanes.Load())
+		s.hubPrunes.Add(old.bstats.hubPrunes.Load())
 	}
 	s.snap.Store(sn)
 }
@@ -666,6 +720,7 @@ func recoverStore(o Options) (*Store, error) {
 		s.publish(sn.Epoch + uint64(len(tail)))
 	}
 	d.startBackground(s.persistSnapshot)
+	s.sched = s.newSched()
 	go s.run()
 	return s, nil
 }
@@ -707,6 +762,9 @@ func (s *Store) Close() error {
 	}
 	s.mu.Unlock()
 	<-s.idle
+	if s.sched != nil {
+		s.sched.close()
+	}
 	if s.dur != nil {
 		return s.dur.close()
 	}
@@ -716,6 +774,44 @@ func (s *Store) Close() error {
 // Snapshot returns the current epoch's immutable query state. Use it to pin
 // a sequence of queries to one consistent epoch.
 func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// SchedReachable answers QR(u,v) through the multi-wave scheduler:
+// concurrent callers' queries coalesce into shared 64-lane waves sized by
+// the adaptive controller, so a loaded serving tier pays one lane sweep
+// per wave instead of one BFS per query. Answers are identical to
+// Reachable; after Close it falls back to the scalar path on the final
+// snapshot.
+func (s *Store) SchedReachable(u, v graph.Node) bool {
+	s.reads.Add(1)
+	if s.sched != nil {
+		if ans, ok := s.sched.query(u, v); ok {
+			return ans
+		}
+	}
+	sc := s.getScratch()
+	ok := s.Snapshot().Reachable(sc, u, v)
+	s.scratch.Put(sc)
+	return ok
+}
+
+// SetSchedWorkers resizes the scheduler's worker pool; n <= 0 means
+// GOMAXPROCS.
+func (s *Store) SetSchedWorkers(n int) { s.sched.setWorkers(n) }
+
+// SchedStats reports the multi-wave scheduler and the batch read path's
+// hybrid-leaf counters (retired epochs' counts plus the live snapshot's).
+func (s *Store) SchedStats() SchedStats {
+	st := s.sched.stats()
+	sn := s.Snapshot()
+	st.BatchLanes = s.batchLanes.Load() + sn.bstats.lanes.Load()
+	st.Hop2Peeled = s.hop2Peeled.Load() + sn.bstats.hop2Peeled.Load()
+	st.HubCacheLanes = s.hubLanes.Load() + sn.bstats.hubLanes.Load()
+	st.HubCachePrunes = s.hubPrunes.Load() + sn.bstats.hubPrunes.Load()
+	if st.BatchLanes > 0 {
+		st.HubCacheHitRate = float64(st.HubCacheLanes) / float64(st.BatchLanes)
+	}
+	return st
+}
 
 // getScratch pools traversal scratch across readers; with steady traffic
 // every goroutine reuses a warm scratch and point queries allocate nothing.

@@ -277,6 +277,13 @@ type (
 // 64-bit mask per query); larger batches chunk into waves transparently.
 const MaxBatch = queries.MaxBatch
 
+// SchedStats is a point-in-time snapshot of a store's multi-wave batch
+// scheduler: worker count, waves and lanes run, adaptive wave-size target,
+// cluster/hub-cache hit rates, and hop2-peeled lane counts. Both store
+// kinds expose it via their SchedStats methods; see DESIGN.md
+// ("Multi-wave scheduling & frontier sharing").
+type SchedStats = store.SchedStats
+
 // NewBatchScratch returns batch traversal scratch pre-sized for an n-node
 // graph; scratches grow on demand.
 func NewBatchScratch(n int) *BatchScratch { return queries.NewBatchScratch(n) }
