@@ -11,6 +11,7 @@
 //	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify] [-data dir] [-sync always|none] [-listen addr]
 //	qpgc replica   -leader addr -data dir [-listen addr]
 //	qpgc client    -addr addr [-workload w.txt] [-from u -to v] [-stats] [-verify -addrs a,b,c]
+//	qpgc top       (-addr addr | -url http://host:port/metrics) [-interval 1s] [-once] [-require fam1,fam2]
 //	qpgc checkpoint -data dir
 //	qpgc recover    -data dir [-verify] [-pairs n]
 //	qpgc scrub      -data dir [-repair]
@@ -59,6 +60,16 @@
 // its own writes. "client" drives an endpoint: one-shot queries, a
 // workload file, or -verify, the quiesced differential that checks all
 // -addrs answer a seeded query set identically at the leader's epoch.
+//
+// serve and replica instrument every layer (store, scheduler, WAL, health,
+// replication, server) through the internal/obs registry: -metrics starts
+// an HTTP side-listener serving the Prometheus text exposition on /metrics
+// (plus /debug/vars and /debug/slowlog), the same text answers the
+// MsgMetrics RPC on -listen, and -slow records network point reads slower
+// than the threshold into a ring-buffer slow-query log. "top" polls either
+// surface and renders a live one-screen dashboard with poll-delta rates;
+// top -once -require fam1,fam2 asserts named metric families are present
+// and non-zero, which is how CI smokes the whole metrics path.
 package main
 
 import (
@@ -96,6 +107,8 @@ func main() {
 		cmdReplica(os.Args[2:])
 	case "client":
 		cmdClient(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
 	case "checkpoint":
 		cmdCheckpoint(os.Args[2:])
 	case "recover":
@@ -108,7 +121,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|replica|client|checkpoint|recover|scrub> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|replica|client|top|checkpoint|recover|scrub> [flags]")
 	os.Exit(2)
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/replica"
 	"repro/internal/server"
 )
@@ -28,25 +29,41 @@ func cmdReplica(args []string) {
 	listen := fs.String("listen", "", "serve replicated reads over TCP on this address")
 	poll := fs.Duration("poll", 0, "tail poll interval when caught up (0 = default 25ms)")
 	maxqps := fs.Int("maxqps", 0, "network read admission cap, queries/s (0 = uncapped)")
+	metricsAddr := fs.String("metrics", "", "HTTP metrics side-listener address (/metrics, /debug/vars, /debug/slowlog)")
+	slowQuery := fs.Duration("slow", 0, "slow-query log threshold for network point reads (0 = off)")
 	fs.Parse(args)
 	if *leader == "" || *data == "" {
 		fatal(fmt.Errorf("replica: -leader and -data are required"))
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" || *listen != "" {
+		reg = obs.NewRegistry()
+	}
 	f, err := replica.Start(replica.Options{
-		Dir: *data, Leader: *leader, PollInterval: *poll,
+		Dir: *data, Leader: *leader, PollInterval: *poll, Obs: reg,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
 	fmt.Printf("replica: following %s from %s (epoch %d)\n", *leader, *data, f.Epoch())
+	if *metricsAddr != "" {
+		ms, err := obs.ListenAndServe(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 	if err := f.WaitCaughtUp(30 * time.Second); err != nil {
 		fmt.Printf("replica: still catching up: %v\n", err)
 	} else {
 		fmt.Printf("replica: caught up at epoch %d\n", f.Epoch())
 	}
 	if *listen != "" {
-		srv, err := server.Start(*listen, server.Options{Backend: f, MaxQPS: *maxqps})
+		srv, err := server.Start(*listen, server.Options{
+			Backend: f, MaxQPS: *maxqps, Obs: reg, SlowQuery: *slowQuery,
+		})
 		if err != nil {
 			fatal(err)
 		}

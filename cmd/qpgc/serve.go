@@ -17,6 +17,7 @@ import (
 	"repro/internal/faultfs"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/queries"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -111,6 +112,8 @@ func cmdServe(args []string) {
 	scrubIvl := fs.Duration("scrub", 0, "background integrity-scrub interval with -data (0 = off)")
 	listen := fs.String("listen", "", "serve the store over TCP on this address (with -data, replicas may tail it)")
 	maxqps := fs.Int("maxqps", 0, "network read admission cap, queries/s (0 = uncapped)")
+	metricsAddr := fs.String("metrics", "", "HTTP metrics side-listener address (/metrics, /debug/vars, /debug/slowlog)")
+	slowQuery := fs.Duration("slow", 0, "slow-query log threshold for network point reads (0 = off; requires -metrics or -listen)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serve run to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	fs.Parse(args)
@@ -174,6 +177,19 @@ func cmdServe(args []string) {
 	if *scrubIvl > 0 && *data == "" {
 		fatal(fmt.Errorf("serve: -scrub verifies durable state and requires -data"))
 	}
+	// One registry instruments every layer of this process; nil (no
+	// -metrics and no -listen) keeps the hot paths at their uninstrumented
+	// cost. Faults fired by the injection plan are counted by kind.
+	var reg *obs.Registry
+	if *metricsAddr != "" || *listen != "" {
+		reg = obs.NewRegistry()
+	}
+	if inject != nil && reg != nil {
+		r := reg
+		inject.Observe(func(kind string) {
+			r.Counter(obs.Label("qpgc_faults_fired_total", "kind", kind)).Inc()
+		})
+	}
 	var ops []gen.Op
 	if *workload != "" {
 		wf, err := os.Open(*workload)
@@ -233,6 +249,7 @@ func cmdServe(args []string) {
 			Shards: *shards, Indexes: true,
 			Dir: *data, Sync: syncMode,
 			FS: storeFS, ScrubInterval: *scrubIvl,
+			Obs: reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -323,6 +340,7 @@ func cmdServe(args []string) {
 			Indexes: true,
 			Dir:     *data, Sync: syncMode,
 			FS: storeFS, ScrubInterval: *scrubIvl,
+			Obs: reg,
 		})
 		if err != nil {
 			fatal(err)
@@ -420,9 +438,18 @@ func cmdServe(args []string) {
 	// -listen fronts the same store over TCP, concurrently with any local
 	// workload drive; with -data set the endpoint also ships snapshots and
 	// WAL segments to replicas.
+	if *metricsAddr != "" {
+		ms, err := obs.ListenAndServe(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", ms.Addr())
+	}
 	if *listen != "" {
 		srv, err := server.Start(*listen, server.Options{
 			Backend: netBackend, ReplDir: *data, MaxQPS: *maxqps,
+			Obs: reg, SlowQuery: *slowQuery,
 		})
 		if err != nil {
 			fatal(err)

@@ -102,10 +102,11 @@ func (r *Rule) err(op Op, name string) error {
 type Inject struct {
 	base FS
 
-	mu    sync.Mutex
-	rules []*Rule
-	fired int
-	log   []string
+	mu       sync.Mutex
+	rules    []*Rule
+	fired    int
+	log      []string
+	observer func(kind string)
 }
 
 // NewInject returns an injecting FS over base armed with the given rules.
@@ -155,6 +156,16 @@ func (in *Inject) Armed() bool {
 	return false
 }
 
+// Observe installs a callback invoked once per delivered fault with the
+// operation kind ("sync", "write", ...). It lets a metrics layer count
+// faults by kind without faultfs importing it. The callback runs outside
+// the Inject lock and must be safe for concurrent use; nil uninstalls.
+func (in *Inject) Observe(fn func(kind string)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.observer = fn
+}
+
 // Log returns a copy of the fired-fault descriptions, in order.
 func (in *Inject) Log() []string {
 	in.mu.Lock()
@@ -167,7 +178,6 @@ func (in *Inject) Log() []string {
 func (in *Inject) match(op Op, name string) *Rule {
 	base := filepath.Base(name)
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	var hit *Rule
 	for _, r := range in.rules {
 		if r.Op&op == 0 || (r.Path != "" && !strings.Contains(base, r.Path)) {
@@ -184,6 +194,11 @@ func (in *Inject) match(op Op, name string) *Rule {
 			in.fired++
 			in.log = append(in.log, fmt.Sprintf("%s %s (#%d)", op, base, n))
 		}
+	}
+	observer := in.observer
+	in.mu.Unlock()
+	if hit != nil && observer != nil {
+		observer(op.String())
 	}
 	return hit
 }

@@ -1,14 +1,18 @@
 package harness
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/faultfs"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -46,13 +50,14 @@ func ExpFaults(cfg Config) *Table {
 		ID:    "faults",
 		Title: "Self-healing under injected write faults: retry, degrade, recover",
 		Header: []string{"dataset", "pre-fault", "post-heal", "vs control",
-			"degr/recov", "sticky lost", "reads", "diff"},
+			"degr/recov", "sticky lost", "reads", "diff", "scrape"},
 		Notes: []string{
 			fmt.Sprintf("window = %d injected WAL fsync failures mid-stream; pre/post rates over %d/%d batches of %d updates", faultsWindow, faultsPre, faultsPost, faultsBatch),
 			"vs control = healed post-window rate over a never-faulted store's rate on the same batches at the same stream position",
 			"sticky lost = batches refused by a no-retry no-recovery store on the identical schedule (the pre-PR policy)",
 			"reads = ok when every sampled read during the window served >= the last pre-fault epoch",
 			"diff = healed store's sampled answers vs an uninterrupted store's (must be ok)",
+			"scrape = post-heal health asserted from the metrics scrape: qpgc_health_state back to 0, every injected fault counted by kind, degradation/recovery counters matching the store's report",
 		},
 	}
 	for _, name := range faultsDatasets {
@@ -76,11 +81,19 @@ func faultsRun(cfg Config, d gen.Dataset) []string {
 	}
 	defer os.RemoveAll(dir)
 	in := faultfs.NewInject(faultfs.Disk)
+	// The experiment instruments the store exactly the way qpgc serve
+	// -faults -metrics does: every delivered fault counts by kind, and the
+	// post-heal assertion reads the Prometheus scrape, not store internals.
+	reg := obs.NewRegistry()
+	in.Observe(func(kind string) {
+		reg.Counter(obs.Label("qpgc_faults_fired_total", "kind", kind)).Inc()
+	})
 	s, err := store.Open(d.Build(cfg.Seed), &store.Options{
 		Indexes: true, Dir: dir, FS: in,
 		WriteRetries: 2, RetryBackoff: time.Millisecond,
 		RecoveryInterval:  5 * time.Millisecond,
 		CheckpointBatches: -1, CheckpointBytes: -1,
+		Obs: reg,
 	})
 	if err != nil {
 		panic(err)
@@ -135,6 +148,7 @@ func faultsRun(cfg Config, d gen.Dataset) []string {
 		}
 	}
 	h := s.Health()
+	scrape := faultsScrapeCheck(reg, h)
 
 	// Phase 3: healed write throughput.
 	mid := len(acked)
@@ -185,7 +199,49 @@ func faultsRun(cfg Config, d gen.Dataset) []string {
 		fmt.Sprintf("%d/%d", lost, total),
 		reads,
 		diff,
+		scrape,
 	}
+}
+
+// faultsScrapeCheck asserts the post-heal state from the metrics scrape —
+// the same text a qpgc top -require run would see. The store must report
+// healthy, every injected fault must have been counted by kind, and the
+// degradation/recovery counters must agree with the store's own report.
+func faultsScrapeCheck(reg *obs.Registry, h store.Health) string {
+	text := reg.PrometheusText()
+	if promValue(text, "qpgc_health_state") != 0 {
+		return "FAIL:state"
+	}
+	fired := promValue(text, `qpgc_faults_fired_total{kind="sync"}`)
+	if fired < faultsWindow {
+		return fmt.Sprintf("FAIL:fired %.0f/%d", fired, faultsWindow)
+	}
+	if got := promValue(text, "qpgc_health_degradations_total"); got != float64(h.Degradations) {
+		return "FAIL:degradations"
+	}
+	if got := promValue(text, "qpgc_health_recoveries_total"); got != float64(h.Recoveries) {
+		return "FAIL:recoveries"
+	}
+	if h.Degradations > 0 && promValue(text, "qpgc_health_degraded_seconds_total") <= 0 {
+		return "FAIL:degraded-seconds"
+	}
+	return "ok"
+}
+
+// promValue extracts one series' value from a Prometheus text exposition
+// (0 if absent).
+func promValue(text, series string) float64 {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
 }
 
 // faultsControlRun feeds a never-faulted durable store the healed store's

@@ -20,7 +20,7 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig12e", "fig12f", "fig12g", "fig12h", "fig12i", "fig12j", "fig12k", "fig12l",
-		"serve", "batch", "batchsched", "shard", "restart", "faults", "replicate"}
+		"serve", "batch", "batchsched", "shard", "restart", "faults", "replicate", "obs"}
 	if len(Experiments()) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(Experiments()), len(want))
 	}
@@ -216,6 +216,35 @@ func TestReplicateMultipliesCapacity(t *testing.T) {
 		}
 		if attempt == 3 {
 			t.Fatal("replica set under 1.8x leader-only capacity on all three attempts")
+		}
+	}
+}
+
+// TestFaultsHealthFromScrape pins the faults experiment's observability
+// half: after the store heals, the assertion reads the Prometheus scrape —
+// qpgc_health_state back to 0, every injected fault counted by kind, and
+// the degradation/recovery counters agreeing with the store's own report.
+// The correctness columns (reads held the epoch, healed answers match the
+// uninterrupted store) must hold on the same run.
+func TestFaultsHealthFromScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a fault window through a durable store")
+	}
+	cfg := QuickConfig()
+	tab := ExpFaults(cfg)
+	if len(tab.Rows) == 0 {
+		t.Fatal("faults produced no rows")
+	}
+	scrapeCol := len(tab.Header) - 1
+	if tab.Header[scrapeCol] != "scrape" {
+		t.Fatalf("last column is %q, want scrape", tab.Header[scrapeCol])
+	}
+	for _, row := range tab.Rows {
+		if row[scrapeCol] != "ok" {
+			t.Fatalf("%s: scrape assertion failed: %s", row[0], row[scrapeCol])
+		}
+		if row[6] != "ok" || row[7] != "ok" {
+			t.Fatalf("%s: reads=%s diff=%s", row[0], row[6], row[7])
 		}
 	}
 }

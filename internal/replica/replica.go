@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/faultfs"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -61,6 +62,10 @@ type Options struct {
 	// ResyncAfter is how many consecutive quarantine events without epoch
 	// progress trigger a full wipe-and-re-bootstrap. 0 means 5.
 	ResyncAfter int
+	// Obs, when non-nil, receives the follower's replication metrics (lag,
+	// shipped bytes, quarantines, resyncs) and is passed through to the
+	// local store, so one scrape covers both tiers. Nil disables it.
+	Obs *obs.Registry
 }
 
 // Status is a point-in-time view of a follower's replication state.
@@ -95,6 +100,7 @@ type Follower struct {
 	reconnects  atomic.Uint64
 	resyncs     atomic.Uint64
 	lastErr     atomic.Value // string
+	shipped     *obs.Counter // bytes of WAL frames applied; nil without Obs
 
 	stop   chan struct{}
 	wg     sync.WaitGroup
@@ -134,12 +140,42 @@ func Start(opts Options) (*Follower, error) {
 		return nil, err
 	}
 	f.b, f.closer, f.kind = b, closer, kind
+	f.bindObs(opts.Obs)
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
 		f.tailLoop()
 	}()
 	return f, nil
+}
+
+// bindObs registers the follower's replication metrics: scrape-time
+// callbacks over the atomics Status already reads, plus the shipped-bytes
+// counter applyFrame feeds. The local store registered its own families
+// when openLocal passed Obs through. No-op on a nil registry.
+func (f *Follower) bindObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	f.shipped = r.Counter("qpgc_replica_shipped_bytes_total")
+	r.GaugeFunc("qpgc_replica_epoch", func() float64 { return float64(f.backend().Epoch()) })
+	r.GaugeFunc("qpgc_replica_leader_epoch", func() float64 { return float64(f.leaderEpoch.Load()) })
+	r.GaugeFunc("qpgc_replica_lag_epochs", func() float64 {
+		e, le := f.backend().Epoch(), f.leaderEpoch.Load()
+		if le > e {
+			return float64(le - e)
+		}
+		return 0
+	})
+	r.GaugeFunc("qpgc_replica_caught_up", func() float64 {
+		if f.caughtUp.Load() {
+			return 1
+		}
+		return 0
+	})
+	r.CounterFunc("qpgc_replica_quarantines_total", f.quarantines.Load)
+	r.CounterFunc("qpgc_replica_reconnects_total", f.reconnects.Load)
+	r.CounterFunc("qpgc_replica_resyncs_total", f.resyncs.Load)
 }
 
 // bootstrap fetches the leader's newest checkpoint and installs it as
@@ -168,13 +204,13 @@ func openLocal(opts Options) (server.Backend, interface{ Close() error }, string
 	}
 	switch info.Kind {
 	case "store":
-		s, err := store.Open(nil, &store.Options{Dir: opts.Dir, FS: opts.FS, Sync: opts.Sync})
+		s, err := store.Open(nil, &store.Options{Dir: opts.Dir, FS: opts.FS, Sync: opts.Sync, Obs: opts.Obs})
 		if err != nil {
 			return nil, nil, "", err
 		}
 		return server.NewStoreBackend(s), s, "store", nil
 	case "sharded":
-		s, err := store.OpenSharded(nil, &store.ShardedOptions{Dir: opts.Dir, FS: opts.FS, Sync: opts.Sync})
+		s, err := store.OpenSharded(nil, &store.ShardedOptions{Dir: opts.Dir, FS: opts.FS, Sync: opts.Sync, Obs: opts.Obs})
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -356,6 +392,7 @@ func (f *Follower) applyFrame(claimed uint64, frame []byte) error {
 	if epoch != seq {
 		return fmt.Errorf("%w: batch %d applied at epoch %d; replica diverged", errQuarantine, seq, epoch)
 	}
+	f.shipped.Add(uint64(len(frame)))
 	return nil
 }
 

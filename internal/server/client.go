@@ -267,6 +267,32 @@ func (c *Client) Stats() (Info, error) {
 	return Info{}, fmt.Errorf("server: unexpected response 0x%02x to stats", byte(t))
 }
 
+// Metrics fetches the server's Prometheus text scrape and the epoch it
+// was taken at. The text is empty when the server runs without a metrics
+// registry.
+func (c *Client) Metrics() (string, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgMetrics, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	switch t {
+	case MsgMetricsText:
+		cur := &cursor{b: body}
+		epoch := cur.u64()
+		text := cur.rest()
+		if cur.err != nil {
+			return "", 0, cur.err
+		}
+		c.noteEpoch(epoch)
+		return string(text), epoch, nil
+	case MsgErr:
+		return "", 0, c.decodeErr(body)
+	}
+	return "", 0, fmt.Errorf("server: unexpected response 0x%02x to metrics", byte(t))
+}
+
 // FetchSnapshot downloads the leader's newest checkpoint image.
 func (c *Client) FetchSnapshot() (kind string, epoch uint64, data []byte, err error) {
 	c.mu.Lock()

@@ -57,6 +57,9 @@ const (
 	// what is on disk now, then MsgCaughtUp (or MsgSnapNeeded when fromSeq
 	// predates the oldest retained segment). Followers poll.
 	MsgTail MsgType = 0x08
+	// MsgMetrics asks for the server's metrics scrape; the MsgMetricsText
+	// response carries the Prometheus text exposition. No body.
+	MsgMetrics MsgType = 0x09
 )
 
 // Response frame types. Every body begins with a u64 epoch.
@@ -93,6 +96,9 @@ const (
 	// retained WAL segment (the epoch is the oldest available seq); the
 	// follower must re-bootstrap from a fresh snapshot.
 	MsgSnapNeeded MsgType = 0x4c
+	// MsgMetricsText carries the Prometheus text exposition after the
+	// epoch; empty text when the server runs without a registry.
+	MsgMetricsText MsgType = 0x4d
 )
 
 // errShortFrame reports a frame body too short for its type.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/faultfs"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -37,6 +38,14 @@ type Options struct {
 	EpochWaitTimeout time.Duration
 	// TailBytes bounds one MsgTail round's shipped payload. 0 means 1 MiB.
 	TailBytes int
+	// Obs, when non-nil, receives the server's instrumentation (request
+	// latency by type, in-flight gauge, rejects, the qpgc_query trace
+	// family) and is what MsgMetrics scrapes. Nil disables both.
+	Obs *obs.Registry
+	// SlowQuery is the slow-query log threshold: point reads at or above
+	// it record a stage breakdown in the registry's "qpgc_query" slow log.
+	// 0 disables the log. Ignored without Obs.
+	SlowQuery time.Duration
 }
 
 // Server answers the wire protocol on a listener: queries and writes
@@ -55,6 +64,7 @@ type Server struct {
 
 	requests atomic.Uint64
 	waits    atomic.Uint64
+	ob       *serverObs // nil without Options.Obs
 }
 
 // New builds a Server; Serve or Start runs it.
@@ -72,6 +82,7 @@ func New(opts Options) *Server {
 	if s.opts.TailBytes == 0 {
 		s.opts.TailBytes = 1 << 20
 	}
+	s.ob = newServerObs(s, s.opts)
 	return s
 }
 
@@ -174,7 +185,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		buf = body[:0] // reuse; handleRequest never retains body
 		s.requests.Add(1)
-		if err := s.handleRequest(t, body, emit); err != nil {
+		var start time.Time
+		if s.ob != nil {
+			s.ob.inflight.Add(1)
+			start = time.Now()
+		}
+		herr := s.handleRequest(t, body, emit)
+		if s.ob != nil {
+			s.ob.observe(t, time.Since(start))
+			s.ob.inflight.Add(-1)
+		}
+		if herr != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {
@@ -224,7 +245,6 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		return emit(MsgEpoch, binary.LittleEndian.AppendUint64(nil, s.backend.Epoch()))
 
 	case MsgReach:
-		s.admitRead()
 		c := &cursor{b: body}
 		minEpoch := c.u64()
 		u, v := c.u32(), c.u32()
@@ -236,8 +256,17 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		if u >= n || v >= n {
 			return emit(MsgErr, s.errBody(fmt.Errorf("server: node id outside [0,%d)", n)))
 		}
+		// The span walks the point read through the pipeline: admission
+		// wait, epoch wait, then the scheduler wave. The store's leaf and
+		// summary stages land in the same qpgc_query family.
+		sp := s.ob.qtracer().Start(u, v)
+		s.admitRead()
+		sp.Step(obs.StageAdmission)
 		epoch, err := s.waitEpoch(minEpoch)
+		sp.Step(obs.StageEpochWait)
 		if err != nil {
+			s.ob.reject()
+			sp.Finish()
 			return emit(MsgErr, s.errBody(err))
 		}
 		out := binary.LittleEndian.AppendUint64(nil, epoch)
@@ -251,6 +280,8 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		} else {
 			reach = s.backend.SchedReachable(graph.Node(u), graph.Node(v))
 		}
+		sp.Step(obs.StageWave)
+		sp.Finish()
 		if reach {
 			out = append(out, 1)
 		} else {
@@ -285,6 +316,7 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		}
 		epoch, err := s.waitEpoch(minEpoch)
 		if err != nil {
+			s.ob.reject()
 			return emit(MsgErr, s.errBody(err))
 		}
 		res := s.backend.BatchReachable(us, vs)
@@ -312,6 +344,7 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		}
 		epoch, err := s.waitEpoch(minEpoch)
 		if err != nil {
+			s.ob.reject()
 			return emit(MsgErr, s.errBody(err))
 		}
 		res := s.backend.Match(p)
@@ -335,6 +368,14 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 			return emit(MsgErr, s.errBody(errors.New("server: stats takes no body")))
 		}
 		return emit(MsgInfo, encodeInfo(nil, s.backend.Info()))
+
+	case MsgMetrics:
+		if len(body) != 0 {
+			return emit(MsgErr, s.errBody(errors.New("server: metrics takes no body")))
+		}
+		out := binary.LittleEndian.AppendUint64(nil, s.backend.Epoch())
+		out = append(out, s.ob.scrape()...)
+		return emit(MsgMetricsText, out)
 
 	case MsgSnapshot:
 		return s.handleSnapshot(body, emit)

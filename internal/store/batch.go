@@ -14,6 +14,7 @@ package store
 import (
 	"math/bits"
 	"slices"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/hop2"
@@ -80,7 +81,15 @@ func (sn *Snapshot) BatchReachable(bs *queries.BatchScratch, us, vs []graph.Node
 		if nl == 0 {
 			continue
 		}
+		var leafStart time.Time
+		timed := sn.leafHist != nil && sn.so.sampleWave()
+		if timed {
+			leafStart = time.Now()
+		}
 		hl, hp := queries.BatchReachableTopoHub(gr, bs, sn.hubFor(), ru[:nl], rv[:nl], lout[:nl])
+		if timed {
+			sn.leafHist.Observe(time.Since(leafStart))
+		}
 		hubLanes += hl
 		hubPrunes += hp
 		for j := 0; j < nl; j++ {
@@ -246,6 +255,11 @@ func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node
 	nshards := len(sn.Shards)
 	sn.bstats.lanes.Add(uint64(k))
 	peeled := 0
+	var stageStart time.Time
+	timed := sn.leafHist != nil && sn.so.sampleWave()
+	if timed {
+		stageStart = time.Now()
+	}
 	var active uint64 // lanes not yet answered true locally
 
 	// Phase A: same-shard fast path. Indexed shards answer per lane in
@@ -304,13 +318,28 @@ func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node
 				nl++
 			}
 		}
-		queries.BatchReachableTopo(sh.Reach.Gr, brs.local, ru[:nl], rv[:nl], lout[:nl])
+		// The hub-pruned sweep, as on the unsharded path: each shard's
+		// quotient lazily memoizes its high-fanout reach-sets once the
+		// snapshot has swept enough lanes (hubForShard), and the sweep
+		// answers cached-hub lanes O(1) and prunes subtrees at hub rows.
+		hl, hp := queries.BatchReachableTopoHub(sh.Reach.Gr, brs.local, sn.hubForShard(s), ru[:nl], rv[:nl], lout[:nl])
+		if hl > 0 {
+			sn.bstats.hubLanes.Add(uint64(hl))
+		}
+		if hp > 0 {
+			sn.bstats.hubPrunes.Add(uint64(hp))
+		}
 		for j := 0; j < nl; j++ {
 			if lout[j] {
 				out[idx[j]] = true
 				active &^= 1 << uint(idx[j])
 			}
 		}
+	}
+	if timed {
+		now := time.Now()
+		sn.leafHist.Observe(now.Sub(stageStart))
+		stageStart = now
 	}
 	if active == 0 || sn.Summary.NumBoundary() == 0 {
 		return
@@ -391,6 +420,9 @@ func (sn *ShardedSnapshot) batchWave(brs *BatchRouteScratch, us, vs []graph.Node
 	done := brs.sum.RunForward(sn.Summary.S)
 	for m := done & active; m != 0; m &= m - 1 {
 		out[bits.TrailingZeros64(m)] = true
+	}
+	if timed && sn.sumHist != nil {
+		sn.sumHist.Observe(time.Since(stageStart))
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/faultfs"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/snapfile"
 	"repro/internal/wal"
 )
@@ -65,6 +66,17 @@ type durable struct {
 	degradations atomic.Uint64
 	recoveries   atomic.Uint64
 
+	// Degraded-time accounting for qpgc_health_degraded_seconds_total:
+	// degradedSince holds the unix nanos of the live degradation (0 while
+	// Healthy), degradedNs the nanoseconds of all finished ones.
+	degradedSince atomic.Int64
+	degradedNs    atomic.Int64
+
+	// Scrub lifetime counters, bumped by keepReport.
+	scrubPasses      atomic.Uint64
+	scrubQuarantined atomic.Uint64
+	scrubRepairs     atomic.Uint64
+
 	scrubMu   sync.Mutex
 	lastScrub ScrubReport
 
@@ -74,6 +86,8 @@ type durable struct {
 	ckptError atomic.Value // errBox: outstanding background checkpoint failure
 	encBuf    []byte       // writer-goroutine-only batch encode scratch
 	closed    atomic.Bool
+
+	obsReg *obs.Registry // nil unless the store was opened with a registry
 }
 
 // errBox wraps an error for atomic.Value, whose Store panics on nil and on
@@ -94,6 +108,7 @@ type durableConfig struct {
 	scrubInterval    time.Duration
 	scrubRate        int64
 	segBytes         int64
+	obsReg           *obs.Registry // nil disables durable-layer metrics
 }
 
 func newDurable(cfg durableConfig, kind snapfile.Kind) (*durable, error) {
@@ -156,7 +171,49 @@ func newDurable(cfg durableConfig, kind snapfile.Kind) (*durable, error) {
 		d.lastCkpt.Store(m.epoch)
 		d.ckptEver.Store(true)
 	}
+	d.bindObs(cfg.obsReg)
 	return d, nil
+}
+
+// bindObs registers the durable layer's health, scrub, and WAL metrics
+// with r; the WAL size/segment gauges read the log lazily so registration
+// can precede openLog. No-op on a nil registry.
+func (d *durable) bindObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	d.obsReg = r
+	r.GaugeFunc("qpgc_health_state", func() float64 {
+		return float64(d.health.Load()) // 0 healthy, 1 degraded
+	})
+	r.CounterFunc("qpgc_health_retries_total", d.writeRetries.Load)
+	r.CounterFunc("qpgc_health_degradations_total", d.degradations.Load)
+	r.CounterFunc("qpgc_health_recoveries_total", d.recoveries.Load)
+	// A gauge func, not a counter: degraded windows are usually sub-second
+	// and an integer counter would round them all to zero. The value is
+	// still monotone — rate() works on it.
+	r.GaugeFunc("qpgc_health_degraded_seconds_total", func() float64 {
+		ns := d.degradedNs.Load()
+		if since := d.degradedSince.Load(); since != 0 {
+			ns += time.Since(time.Unix(0, since)).Nanoseconds()
+		}
+		return time.Duration(ns).Seconds()
+	})
+	r.CounterFunc("qpgc_scrub_passes_total", d.scrubPasses.Load)
+	r.CounterFunc("qpgc_scrub_quarantined_total", d.scrubQuarantined.Load)
+	r.CounterFunc("qpgc_scrub_repairs_total", d.scrubRepairs.Load)
+	r.GaugeFunc("qpgc_wal_segment_bytes", func() float64 {
+		if d.log == nil {
+			return 0
+		}
+		return float64(d.log.SizeBytes())
+	})
+	r.GaugeFunc("qpgc_wal_segments", func() float64 {
+		if d.log == nil {
+			return 0
+		}
+		return float64(len(d.log.Segments()))
+	})
 }
 
 // snapshotPath is the absolute path of the manifest's checkpoint.
@@ -164,7 +221,7 @@ func (d *durable) snapshotPath() string { return filepath.Join(d.dir, d.manifest
 
 // openLog opens the WAL, creating it at nextSeq when empty.
 func (d *durable) openLog(nextSeq uint64) error {
-	l, err := wal.Open(d.dir, nextSeq, &wal.Options{Sync: d.syncMode, FS: d.fs, SegmentBytes: d.segBytes})
+	l, err := wal.Open(d.dir, nextSeq, &wal.Options{Sync: d.syncMode, FS: d.fs, SegmentBytes: d.segBytes, Obs: d.obsReg})
 	if err != nil {
 		return err
 	}

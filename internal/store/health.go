@@ -129,6 +129,7 @@ func (d *durable) degrade(cause error) {
 	d.reason.Store(fmt.Errorf("store: write path degraded: %w", cause))
 	if d.health.Swap(int32(Degraded)) != int32(Degraded) {
 		d.degradations.Add(1)
+		d.degradedSince.Store(time.Now().UnixNano())
 	}
 }
 
@@ -137,6 +138,9 @@ func (d *durable) degrade(cause error) {
 func (d *durable) rearm() {
 	if d.health.Swap(int32(Healthy)) != int32(Healthy) {
 		d.recoveries.Add(1)
+		if since := d.degradedSince.Swap(0); since != 0 {
+			d.degradedNs.Add(time.Now().UnixNano() - since)
+		}
 	}
 }
 
@@ -360,11 +364,19 @@ func (d *durable) scrubOnce(ckpt func(force bool) error) ScrubReport {
 	return rep
 }
 
-// keepReport retains the scrub report for Health().
+// keepReport retains the scrub report for Health() and folds its tallies
+// into the lifetime scrub counters surfaced by the metrics registry.
 func (d *durable) keepReport(rep ScrubReport) {
 	d.scrubMu.Lock()
 	d.lastScrub = rep
 	d.scrubMu.Unlock()
+	d.scrubPasses.Add(1)
+	if n := len(rep.Quarantined); n > 0 {
+		d.scrubQuarantined.Add(uint64(n))
+	}
+	if rep.Repaired {
+		d.scrubRepairs.Add(1)
+	}
 }
 
 // rateBudget throttles scrub IO to roughly rate bytes/sec by sleeping

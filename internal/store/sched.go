@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/queries"
 )
 
@@ -140,6 +141,15 @@ type scheduler struct {
 	lanes     atomic.Uint64
 	singles   atomic.Uint64
 	clustered atomic.Uint64
+
+	// waveHist, when non-nil, receives sampled per-wave latencies
+	// (qpgc_sched_wave_seconds): 1 in obsSampleWaves, on histTick's clock —
+	// a collapsed-quotient wave runs in well under a microsecond, so even
+	// the histogram's bucket arithmetic is too dear to pay per wave. Set
+	// once by bindSchedObs before traffic; nil keeps the hot path at a nil
+	// check.
+	waveHist *obs.Histogram
+	histTick atomic.Uint32
 }
 
 // newScheduler starts a pool of workers (0 means GOMAXPROCS). buckets, when
@@ -496,8 +506,12 @@ func (sc *scheduler) noteWave(k int, d time.Duration) {
 	sc.noteLat(d)
 }
 
-// noteLat folds one observed per-wave latency into the controller's EWMA.
+// noteLat folds one observed per-wave latency into the controller's EWMA
+// and, on the sampling clock, the wave-latency histogram when one is bound.
 func (sc *scheduler) noteLat(d time.Duration) {
+	if sc.waveHist != nil && sc.histTick.Add(1)%obsSampleWaves == 0 {
+		sc.waveHist.Observe(d)
+	}
 	old := sc.loadLat()
 	sc.ewmaLatNs.Store(math.Float64bits(old + schedLatGain*(float64(d.Nanoseconds())-old)))
 }

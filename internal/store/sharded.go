@@ -45,6 +45,7 @@ import (
 	"repro/internal/hop2"
 	"repro/internal/incbisim"
 	"repro/internal/increach"
+	"repro/internal/obs"
 	"repro/internal/part"
 	"repro/internal/pattern"
 	"repro/internal/queries"
@@ -101,6 +102,11 @@ type ShardedOptions struct {
 	// SchedWorkers sizes the multi-wave batch scheduler's worker pool, as
 	// in Options.SchedWorkers. 0 means GOMAXPROCS at Open time.
 	SchedWorkers int
+	// Obs, when non-nil, receives the store's metrics, as in Options.Obs;
+	// the sharded store additionally exposes per-shard batch latency
+	// (qpgc_shard_batch_seconds{shard="k"}), the input a self-tuning
+	// rebalancer needs.
+	Obs *obs.Registry
 }
 
 // durableCfg projects the durable layer's cut of the options.
@@ -117,6 +123,7 @@ func (o ShardedOptions) durableCfg() durableConfig {
 		scrubInterval:    o.ScrubInterval,
 		scrubRate:        o.ScrubRate,
 		segBytes:         o.WALSegmentBytes,
+		obsReg:           o.Obs,
 	}
 }
 
@@ -156,6 +163,46 @@ type ShardedSnapshot struct {
 	// Batch read-path counters, epoch-local like Snapshot.bstats; pure
 	// metadata, folded into the store accumulators at the next publish.
 	bstats batchCounters
+	// hubs holds one lazy hub reach-set cache per shard quotient, gated and
+	// invalidated exactly like Snapshot.hub (hubcache.go): a write publishes
+	// a new snapshot with empty slots.
+	hubs []shardHubSlot
+	// leafHist/sumHist, when non-nil, time each wave's local leaf phase and
+	// cross-shard summary hop (qpgc_query_stage_seconds); copied from the
+	// store's instruments at publish. so shares the sampling clock: only 1
+	// in obsSampleWaves waves pays the clock reads.
+	leafHist *obs.Histogram
+	sumHist  *obs.Histogram
+	so       *storeObs
+}
+
+// shardHubSlot is one shard's lazy hub-cache cell on a ShardedSnapshot.
+type shardHubSlot struct {
+	once sync.Once
+	hub  atomic.Pointer[hubCache]
+}
+
+// hubForShard returns shard s's hub cache for the batch sweep, building it
+// at most once per (snapshot, shard) after the amortization gate opens —
+// the sharded mirror of Snapshot.hubFor, gated on the snapshot-wide lane
+// count and the shard quotient's size.
+func (sn *ShardedSnapshot) hubForShard(s int) queries.HubDesc {
+	slot := &sn.hubs[s]
+	if h := slot.hub.Load(); h != nil {
+		if len(h.rows) == 0 {
+			return nil
+		}
+		return h
+	}
+	gr := sn.Shards[s].Reach.Gr
+	if gr.NumNodes() < hubCacheMinNodes || sn.bstats.lanes.Load() < hubCacheBuildLanes {
+		return nil
+	}
+	slot.once.Do(func() { slot.hub.Store(buildHubCache(gr)) })
+	if h := slot.hub.Load(); h != nil && len(h.rows) > 0 {
+		return h
+	}
+	return nil
 }
 
 // RouteScratch is reusable traversal state for queries against a
@@ -423,6 +470,7 @@ type shardWorker struct {
 	local *graph.Graph // handed to run(), which builds the maintainers
 	reqs  chan *shardCmd
 	done  chan struct{}
+	hist  *obs.Histogram // per-shard batch latency; nil when metrics are off
 }
 
 func (w *shardWorker) run() {
@@ -433,6 +481,10 @@ func (w *shardWorker) run() {
 	var cached shardEpochView
 	for cmd := range w.reqs {
 		if len(cmd.batch) > 0 || cached.g == nil {
+			var start time.Time
+			if w.hist != nil {
+				start = time.Now()
+			}
 			if len(cmd.batch) > 0 {
 				rm.Apply(cmd.batch)
 				pm.Apply(cmd.batch)
@@ -446,6 +498,9 @@ func (w *shardWorker) run() {
 			cached.rc, cached.rGr = reorderReach(cached.rc, cached.rGr)
 			cached.part = pm.Partition()
 			cmd.view.dirty = true
+			if w.hist != nil {
+				w.hist.Observe(time.Since(start))
+			}
 		}
 		cmd.view.g = cached.g
 		cmd.view.rGr = cached.rGr
@@ -501,10 +556,14 @@ type ShardedStore struct {
 	reads   atomic.Uint64
 
 	// Batch read-path counters folded in from retired snapshots by
-	// publish, as on Store (the sharded path has no hub cache; its
-	// hybrid leaf is the per-shard 2-hop index).
+	// publish, as on Store: lanes and 2-hop peels (same-shard index
+	// answers) plus the per-shard hub caches' lanes and prunes.
 	batchLanes atomic.Uint64
 	hop2Peeled atomic.Uint64
+	hubLanes   atomic.Uint64
+	hubPrunes  atomic.Uint64
+
+	ob *storeObs // nil unless ShardedOptions.Obs
 }
 
 // OpenSharded returns a running ShardedStore with opts.Shards
@@ -579,6 +638,7 @@ func openShardedMem(g *graph.Graph, o ShardedOptions) *ShardedStore {
 		views:         make([]*shardEpochView, o.Shards),
 		reqs:          make(chan shardedApplyReq),
 		idle:          make(chan struct{}),
+		ob:            newStoreObs(o.Obs),
 	}
 	s.scratch.New = func() any { return NewRouteScratch() }
 	s.workers = make([]*shardWorker, o.Shards)
@@ -587,6 +647,7 @@ func openShardedMem(g *graph.Graph, o ShardedOptions) *ShardedStore {
 			local: p.Subgraph(c, i),
 			reqs:  make(chan *shardCmd),
 			done:  make(chan struct{}),
+			hist:  shardBatchHist(o.Obs, i),
 		}
 		s.workers[i] = w
 		go w.run() // builds the shard pipeline, then serves commands
@@ -594,6 +655,7 @@ func openShardedMem(g *graph.Graph, o ShardedOptions) *ShardedStore {
 	s.roundTrip(make([][]graph.Update, o.Shards))
 	s.publish(0)
 	s.sched = s.newSched()
+	s.bindShardedObs()
 	go s.run()
 	return s
 }
@@ -693,6 +755,7 @@ func (s *ShardedStore) ensureWorkers() {
 			local: sn.Shards[i].G.Thaw(),
 			reqs:  make(chan *shardCmd),
 			done:  make(chan struct{}),
+			hist:  shardBatchHist(s.opts.Obs, i),
 		}
 		s.workers[i] = w
 		go w.run()
@@ -750,6 +813,10 @@ func (s *ShardedStore) run() {
 				break drain
 			}
 		}
+		var applyStart time.Time
+		if s.ob != nil {
+			applyStart = time.Now()
+		}
 		epochs := make([]uint64, len(pending))
 		for i := range pending {
 			epochs[i] = s.batches.Add(1)
@@ -776,6 +843,9 @@ func (s *ShardedStore) run() {
 		}
 		s.roundTrip(batches)
 		s.publish(epochs[len(epochs)-1])
+		if s.ob != nil {
+			s.ob.apply.Observe(time.Since(applyStart))
+		}
 		for i, p := range pending {
 			p.res <- results[i]
 		}
@@ -959,6 +1029,13 @@ func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
 		Stitched: parts.Stitched,
 		p:        p,
 		crossOut: append([][]graph.Node(nil), s.crossOut...),
+		hubs:     make([]shardHubSlot, k),
+	}
+	s.ob = newStoreObs(o.Obs)
+	if s.ob != nil {
+		sn.leafHist = s.ob.leaf
+		sn.sumHist = s.ob.summary
+		sn.so = s.ob
 	}
 	s.snap.Store(sn)
 	s.batches.Store(sn.Epoch)
@@ -987,6 +1064,7 @@ func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
 	}
 	d.startBackground(s.persistSnapshot)
 	s.sched = s.newSched()
+	s.bindShardedObs()
 	go s.run()
 	return s, nil
 }
@@ -995,6 +1073,10 @@ func recoverSharded(o ShardedOptions) (*ShardedStore, error) {
 // shard views and cross-shard state. Called from OpenSharded and then only
 // from the coordinator goroutine.
 func (s *ShardedStore) publish(epoch uint64) {
+	var pubStart time.Time
+	if s.ob != nil {
+		pubStart = time.Now()
+	}
 	k := s.opts.Shards
 	if s.boundaryDirty {
 		s.boundary = part.BoundaryNodes(s.crossOut, s.crossInDeg)
@@ -1069,13 +1151,26 @@ func (s *ShardedStore) publish(epoch uint64) {
 		Stitched: stitched,
 		p:        s.p,
 		crossOut: append([][]graph.Node(nil), s.crossOut...),
+		hubs:     make([]shardHubSlot, k),
 	}
-	// Fold the retiring snapshot's batch counters, as in Store.publish.
+	// Fold the retiring snapshot's batch counters, as in Store.publish —
+	// all four: dropping the hub pair here is how the sharded SchedStats
+	// used to under-report the hub-cache leaf.
 	if old := s.snap.Load(); old != nil {
 		s.batchLanes.Add(old.bstats.lanes.Load())
 		s.hop2Peeled.Add(old.bstats.hop2Peeled.Load())
+		s.hubLanes.Add(old.bstats.hubLanes.Load())
+		s.hubPrunes.Add(old.bstats.hubPrunes.Load())
+	}
+	if s.ob != nil {
+		sn.leafHist = s.ob.leaf
+		sn.sumHist = s.ob.summary
+		sn.so = s.ob
 	}
 	s.snap.Store(sn)
+	if s.ob != nil {
+		s.ob.notePublish(time.Since(pubStart))
+	}
 }
 
 // ApplyBatch submits one batch ΔG and blocks until the snapshot containing
@@ -1145,13 +1240,19 @@ func (s *ShardedStore) SchedReachable(u, v graph.Node) bool {
 func (s *ShardedStore) SetSchedWorkers(n int) { s.sched.setWorkers(n) }
 
 // SchedStats reports the multi-wave scheduler and batch read-path
-// counters, as Store.SchedStats. The sharded store has no hub cache, so
-// the hub fields stay zero; Hop2Peeled counts same-shard index answers.
+// counters, as Store.SchedStats. Hop2Peeled counts same-shard index
+// answers; the hub fields count the per-shard hub caches' O(1) lanes and
+// subtree prunes in the unindexed local sweeps.
 func (s *ShardedStore) SchedStats() SchedStats {
 	st := s.sched.stats()
 	sn := s.Snapshot()
 	st.BatchLanes = s.batchLanes.Load() + sn.bstats.lanes.Load()
 	st.Hop2Peeled = s.hop2Peeled.Load() + sn.bstats.hop2Peeled.Load()
+	st.HubCacheLanes = s.hubLanes.Load() + sn.bstats.hubLanes.Load()
+	st.HubCachePrunes = s.hubPrunes.Load() + sn.bstats.hubPrunes.Load()
+	if st.BatchLanes > 0 {
+		st.HubCacheHitRate = float64(st.HubCacheLanes) / float64(st.BatchLanes)
+	}
 	return st
 }
 

@@ -226,3 +226,104 @@ func TestShardedStressReadersVsWriter(t *testing.T) {
 		t.Fatalf("final epoch %d, want %d", got, epochs)
 	}
 }
+
+// TestShardedSchedStatsCountersMove drives every SchedStats counter on the
+// sharded store and asserts each one moves. It pins the publish-fold
+// regression where ShardedStore.publish dropped the hub-cache counter pair
+// while folding a retiring snapshot's batch counters, so the lifetime
+// HubCacheLanes/HubCachePrunes silently read zero after the first write.
+func TestShardedSchedStatsCountersMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := gen.Citation(rng, 4000, 32000, 5)
+
+	// Unindexed: lanes must reach the local sweeps, where the lane volume
+	// opens the per-shard hub-cache gates mid-wave.
+	s := mustOpenSharded(t, g.Clone(), &ShardedOptions{Shards: 2, Indexes: false})
+	defer s.Close()
+	sn := s.Snapshot()
+	for i := range sn.Shards {
+		if n := sn.Shards[i].Reach.Gr.NumNodes(); n < hubCacheMinNodes {
+			t.Fatalf("shard %d quotient has %d classes, below hubCacheMinNodes=%d; grow the test graph",
+				i, n, hubCacheMinNodes)
+		}
+	}
+	us, vs := randomPairs(rng, 4000, 600)
+	got := s.BatchReachable(us, vs)
+	for i := range us {
+		if want := s.Reachable(us[i], vs[i]); got[i] != want {
+			t.Fatalf("batch QR(%d,%d)=%v, scalar says %v", us[i], vs[i], got[i], want)
+		}
+	}
+	if st := s.SchedStats(); st.HubCacheLanes+st.HubCachePrunes == 0 {
+		t.Fatal("sharded hub caches built but never answered or pruned a lane")
+	}
+
+	// Concurrent point queries move the singles counters. Wave WIDTHS are
+	// scheduling-dependent (on one P the signaled worker usually cuts each
+	// query as its own wave), so only presence is asserted here; the
+	// clustering counter gets its own deterministic drive below.
+	s.SetSchedWorkers(1)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(us); i += 8 {
+				s.SchedReachable(us[i], vs[i])
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st := s.SchedStats(); st.Waves == 0 || st.Lanes == 0 || st.Singles == 0 {
+		t.Fatalf("singles counters stuck: %+v", st)
+	}
+
+	// ClusteredLanes, deterministically: the pinned batch path cluster-sorts
+	// only past schedClusterMinBuckets locality buckets, and for a sharded
+	// store the bucket count is the shard count — so on a store with more
+	// shards than the gate, 600 lanes over that many source shards MUST sort
+	// some same-shard lanes adjacent (pigeonhole), whatever the machine's
+	// scheduling does.
+	sc := mustOpenSharded(t, g.Clone(), &ShardedOptions{Shards: schedClusterMinBuckets + 2, Indexes: false})
+	defer sc.Close()
+	sc.BatchReachable(us, vs)
+	if st := sc.SchedStats(); st.ClusteredLanes == 0 {
+		t.Fatalf("pinned batch over %d shards counted no clustered lanes: %+v", schedClusterMinBuckets+2, st)
+	}
+
+	// A write retires the counting snapshot: publish must fold ALL the
+	// epoch-local counters into the store accumulators, and the fresh
+	// snapshot must start with empty counters and empty hub slots.
+	before := s.SchedStats()
+	if _, err := s.ApplyBatch([]graph.Update{graph.Insertion(1, 2)}); err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	sn2 := s.Snapshot()
+	if sn2.bstats.lanes.Load() != 0 || sn2.bstats.hubLanes.Load() != 0 {
+		t.Fatal("fresh sharded snapshot inherited batch counters from the retired epoch")
+	}
+	for i := range sn2.hubs {
+		if sn2.hubs[i].hub.Load() != nil {
+			t.Fatalf("fresh sharded snapshot inherited shard %d's hub cache", i)
+		}
+	}
+	after := s.SchedStats()
+	if after.BatchLanes < before.BatchLanes ||
+		after.HubCacheLanes < before.HubCacheLanes || after.HubCachePrunes < before.HubCachePrunes {
+		t.Fatalf("publish dropped folded counters:\nbefore=%+v\nafter=%+v", before, after)
+	}
+	if after.BatchLanes == 0 || after.HubCacheLanes+after.HubCachePrunes == 0 {
+		t.Fatalf("lifetime sharded counters read zero after publish: %+v", after)
+	}
+	if after.HubCacheLanes > 0 && after.HubCacheHitRate <= 0 {
+		t.Fatalf("HubCacheHitRate not derived from the folded counters: %+v", after)
+	}
+
+	// Indexed variant: same-shard lanes peel through the 2-hop index.
+	si := mustOpenSharded(t, g.Clone(), &ShardedOptions{Shards: 2, Indexes: true})
+	defer si.Close()
+	si.BatchReachable(us, vs)
+	if st := si.SchedStats(); st.Hop2Peeled == 0 {
+		t.Fatalf("indexed sharded batch peeled no lanes through the 2-hop index: %+v", st)
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/hop2"
 	"repro/internal/incbisim"
 	"repro/internal/increach"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/queries"
 	"repro/internal/reach"
@@ -145,6 +146,12 @@ type Options struct {
 	// shared waves. 0 means GOMAXPROCS at Open time; SetSchedWorkers
 	// resizes a running pool.
 	SchedWorkers int
+	// Obs, when non-nil, receives the store's metrics: apply/publish
+	// latency histograms, epoch age, scheduler wave latency and occupancy,
+	// batch read-path leaf counters, WAL fsync latency and group-commit
+	// sizes, and the self-healing layer's health state. Nil (the default)
+	// disables all instrumentation at zero hot-path cost.
+	Obs *obs.Registry
 }
 
 // durableCfg projects the durable layer's cut of the options.
@@ -161,6 +168,7 @@ func (o Options) durableCfg() durableConfig {
 		scrubInterval:    o.ScrubInterval,
 		scrubRate:        o.ScrubRate,
 		segBytes:         o.WALSegmentBytes,
+		obsReg:           o.Obs,
 	}
 }
 
@@ -216,6 +224,13 @@ type Snapshot struct {
 	bstats  batchCounters
 	hubOnce sync.Once
 	hub     atomic.Pointer[hubCache]
+	// leafHist, when non-nil, times each wave's leaf-engine work
+	// (qpgc_query_stage_seconds{stage="leaf"}); copied from the store's
+	// instruments at publish so BatchReachable pays only a nil check when
+	// metrics are off. so shares the sampling clock: only 1 in
+	// obsSampleWaves waves pays the clock reads.
+	leafHist *obs.Histogram
+	so       *storeObs
 	// Reach is the reachability-compressed read path.
 	Reach ReachView
 	// Pattern is the pattern-compressed read path.
@@ -374,6 +389,8 @@ type Store struct {
 	hop2Peeled atomic.Uint64
 	hubLanes   atomic.Uint64
 	hubPrunes  atomic.Uint64
+
+	ob *storeObs // nil unless Options.Obs
 }
 
 // Open returns a running Store serving queries on both compressed forms
@@ -437,10 +454,12 @@ func openMem(g *graph.Graph, o Options) *Store {
 		pm:   incbisim.New(g.Clone()),
 		reqs: make(chan applyReq),
 		idle: make(chan struct{}),
+		ob:   newStoreObs(o.Obs),
 	}
 	s.scratch.New = func() any { return queries.NewScratch(n) }
 	s.publish(0)
 	s.sched = s.newSched()
+	s.bindStoreObs()
 	go s.run()
 	return s
 }
@@ -480,6 +499,10 @@ func (s *Store) ensureMaintainers() {
 // publish rebuilds the snapshot from the maintainers and swaps it in.
 // Called from Open and then only from the writer goroutine.
 func (s *Store) publish(epoch uint64) {
+	var pubStart time.Time
+	if s.ob != nil {
+		pubStart = time.Now()
+	}
 	csrG := s.rm.Graph().Freeze()
 	rc, rGr := s.rm.CompressedCSR()
 	// The two maintainers hold separate graph copies with identical
@@ -512,7 +535,14 @@ func (s *Store) publish(epoch uint64) {
 		s.hubLanes.Add(old.bstats.hubLanes.Load())
 		s.hubPrunes.Add(old.bstats.hubPrunes.Load())
 	}
+	if s.ob != nil {
+		sn.leafHist = s.ob.leaf
+		sn.so = s.ob
+	}
 	s.snap.Store(sn)
+	if s.ob != nil {
+		s.ob.notePublish(time.Since(pubStart))
+	}
 }
 
 // run is the writer goroutine: it serializes batches, folds queued requests
@@ -541,6 +571,10 @@ func (s *Store) run() {
 		// the background recovery loop re-arms it: with the log behind the
 		// maintainers' state, continuing would acknowledge updates a
 		// restart silently forgets.
+		var applyStart time.Time
+		if s.ob != nil {
+			applyStart = time.Now()
+		}
 		epochs := make([]uint64, len(pending))
 		for i := range pending {
 			epochs[i] = s.batches.Add(1)
@@ -568,6 +602,9 @@ func (s *Store) run() {
 			s.updates.Add(uint64(len(p.batch)))
 		}
 		s.publish(epochs[len(epochs)-1])
+		if s.ob != nil {
+			s.ob.apply.Observe(time.Since(applyStart))
+		}
 		for i, p := range pending {
 			p.res <- results[i]
 		}
@@ -693,9 +730,14 @@ func recoverStore(o Options) (*Store, error) {
 		dur:  d,
 		reqs: make(chan applyReq),
 		idle: make(chan struct{}),
+		ob:   newStoreObs(o.Obs),
 	}
 	n := sn.G.NumNodes()
 	s.scratch.New = func() any { return queries.NewScratch(n) }
+	if s.ob != nil {
+		sn.leafHist = s.ob.leaf
+		sn.so = s.ob
+	}
 	s.snap.Store(sn)
 	s.batches.Store(sn.Epoch)
 
@@ -721,6 +763,7 @@ func recoverStore(o Options) (*Store, error) {
 	}
 	d.startBackground(s.persistSnapshot)
 	s.sched = s.newSched()
+	s.bindStoreObs()
 	go s.run()
 	return s, nil
 }

@@ -47,8 +47,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/faultfs"
+	"repro/internal/obs"
 )
 
 // SyncMode selects the fsync policy applied by Commit.
@@ -96,6 +98,10 @@ type Options struct {
 	// FS is the filesystem the log runs on. Nil means the real disk; tests
 	// substitute a faultfs.Inject to fire storage errors deterministically.
 	FS faultfs.FS
+	// Obs, when non-nil, receives the log's instrumentation: fsync
+	// latency, append and group-commit counters. Nil disables it at zero
+	// cost on the append path.
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the standard configuration: 4 MiB segments,
@@ -121,6 +127,13 @@ type Log struct {
 	next   uint64 // seq the next Append must carry
 	frame  []byte // reusable framing buffer
 	closed bool
+
+	// Instrumentation; all nil (no-op) unless Options.Obs was set.
+	fsyncHist     *obs.Histogram
+	appends       *obs.Counter
+	commits       *obs.Counter
+	commitBatches *obs.Counter
+	pending       uint64 // appends since the last Commit, under mu
 }
 
 // Open opens (or creates) the log in dir and recovers its tail. nextSeq is
@@ -143,6 +156,10 @@ func Open(dir string, nextSeq uint64, opts *Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{dir: dir, fs: fsys, opts: o}
+	l.fsyncHist = o.Obs.Histogram("qpgc_wal_fsync_seconds")
+	l.appends = o.Obs.Counter("qpgc_wal_appends_total")
+	l.commits = o.Obs.Counter("qpgc_wal_group_commits_total")
+	l.commitBatches = o.Obs.Counter("qpgc_wal_group_commit_batches_total")
 	names, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
@@ -257,6 +274,8 @@ func (l *Log) Append(seq uint64, payload []byte) error {
 	}
 	l.segs[len(l.segs)-1].size += int64(len(l.frame))
 	l.next = seq + 1
+	l.appends.Add(1)
+	l.pending++
 	return nil
 }
 
@@ -270,10 +289,21 @@ func (l *Log) Commit() error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.pending > 0 {
+		l.commits.Add(1)
+		l.commitBatches.Add(l.pending)
+		l.pending = 0
+	}
 	if l.opts.Sync == SyncNone {
 		return nil
 	}
-	return l.active.Sync()
+	if l.fsyncHist == nil {
+		return l.active.Sync()
+	}
+	start := time.Now()
+	err := l.active.Sync()
+	l.fsyncHist.Observe(time.Since(start))
+	return err
 }
 
 // Sync fsyncs the active segment regardless of policy.
@@ -341,6 +371,7 @@ func (l *Log) Rollback(m Mark) error {
 	l.active = f
 	l.segs[m.segIndex].size = m.size
 	l.next = m.next
+	l.pending = 0 // the rolled-back group's appends will never group-commit
 	return l.active.Sync()
 }
 
@@ -576,6 +607,7 @@ func (l *Log) Reset(nextSeq uint64) error {
 	}
 	l.segs = nil
 	l.next = nextSeq
+	l.pending = 0
 	return l.startSegment(nextSeq)
 }
 
