@@ -9,8 +9,9 @@
 //	qpgc gen       -kind social|web|citation|p2p|er -v 1000 -e 5000 -l 4 -out g.txt [-seed n]
 //	qpgc workload  -in g.txt -ops 10000 -write 0.05 -out w.txt [-seed n]
 //	qpgc serve     -in g.txt -workload w.txt [-readers 4] [-batch 64] [-shards k] [-target gr|g|hop2] [-verify] [-data dir] [-sync always|none] [-listen addr]
-//	qpgc replica   -leader addr -data dir [-listen addr]
-//	qpgc client    -addr addr [-workload w.txt] [-from u -to v] [-stats] [-verify -addrs a,b,c]
+//	qpgc replica   -leader addr[,addr...] -data dir [-listen addr]
+//	qpgc promote   -addr addr [-wait 10s]
+//	qpgc client    -addr addr[,addr...] [-workload w.txt] [-from u -to v] [-stats] [-verify -addrs a,b,c]
 //	qpgc top       (-addr addr | -url http://host:port/metrics) [-interval 1s] [-once] [-require fam1,fam2]
 //	qpgc checkpoint -data dir
 //	qpgc recover    -data dir [-verify] [-pairs n]
@@ -61,6 +62,21 @@
 // workload file, or -verify, the quiesced differential that checks all
 // -addrs answer a seeded query set identically at the leader's epoch.
 //
+// The replication tier survives leader loss. Every durable directory
+// carries a fsynced leader term; writes and tail polls ship it, and a
+// store that observes a newer term fences itself read-only — a deposed
+// leader can never silently diverge. "promote" turns a follower into the
+// leader: it drains its tail (-wait bounds that; a still-lagging follower
+// reports its exact lag instead), bumps and fsyncs its term, and starts
+// accepting writes — the printed epoch frontier is the guarantee that no
+// batch acked at or below it was lost. replica -leader takes a
+// comma-separated retry list, so a surviving follower re-points to a
+// promoted sibling (any follower's own WAL is a valid shipping source and
+// serving replicas expose it). client -addr likewise takes an endpoint
+// set: on a fenced, stale-term or connection error it rediscovers the
+// current leader with capped backoff and retries, keeping
+// read-your-writes across the switch.
+//
 // serve and replica instrument every layer (store, scheduler, WAL, health,
 // replication, server) through the internal/obs registry: -metrics starts
 // an HTTP side-listener serving the Prometheus text exposition on /metrics
@@ -105,6 +121,8 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "replica":
 		cmdReplica(os.Args[2:])
+	case "promote":
+		cmdPromote(os.Args[2:])
 	case "client":
 		cmdClient(os.Args[2:])
 	case "top":
@@ -121,7 +139,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|replica|client|top|checkpoint|recover|scrub> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: qpgc <compress|stats|reach|gen|workload|serve|replica|promote|client|top|checkpoint|recover|scrub> [flags]")
 	os.Exit(2)
 }
 

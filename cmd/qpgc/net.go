@@ -24,7 +24,7 @@ import (
 // until SIGINT/SIGTERM and prints the replication counters on exit.
 func cmdReplica(args []string) {
 	fs := flag.NewFlagSet("replica", flag.ExitOnError)
-	leader := fs.String("leader", "", "leader address (a qpgc serve -listen endpoint with -data)")
+	leader := fs.String("leader", "", "replication source retry list, comma-separated (leader first; siblings after, for failover chaining)")
 	data := fs.String("data", "", "replica durable directory (bootstrapped if empty, recovered otherwise)")
 	listen := fs.String("listen", "", "serve replicated reads over TCP on this address")
 	poll := fs.Duration("poll", 0, "tail poll interval when caught up (0 = default 25ms)")
@@ -61,33 +61,94 @@ func cmdReplica(args []string) {
 		fmt.Printf("replica: caught up at epoch %d\n", f.Epoch())
 	}
 	if *listen != "" {
+		// ReplDir makes the follower itself a replication source (its own
+		// WAL is valid shipping state), so siblings can chain off it and a
+		// promotion target can be tailed the moment it takes over. The
+		// endpoint also accepts MsgPromote, which turns this follower into
+		// the leader (see "qpgc promote").
 		srv, err := server.Start(*listen, server.Options{
-			Backend: f, MaxQPS: *maxqps, Obs: reg, SlowQuery: *slowQuery,
+			Backend: f, ReplDir: *data, MaxQPS: *maxqps, Obs: reg, SlowQuery: *slowQuery,
 		})
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("listening on %s (read-only)\n", srv.Addr())
+		fmt.Printf("listening on %s (read-only until promoted)\n", srv.Addr())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	<-ctx.Done()
 	stop()
 	st := f.Status()
-	fmt.Printf("replica: epoch %d, leader %d, lag %d, caught up %v\n",
-		st.Epoch, st.LeaderEpoch, st.Lag, st.CaughtUp)
+	fmt.Printf("replica: epoch %d, leader %d, lag %d, caught up %v, term %d, promoted %v\n",
+		st.Epoch, st.LeaderEpoch, st.Lag, st.CaughtUp, st.Term, st.Promoted)
 	fmt.Printf("replica: %d quarantine(s), %d reconnect(s), %d resync(s)\n",
 		st.Quarantines, st.Reconnects, st.Resyncs)
+}
+
+// cmdPromote asks a follower endpoint to become the leader: with -wait it
+// first lets the tail drain (a follower that is still behind reports its
+// exact lag instead of promoting), then the follower bumps and fsyncs its
+// leader term and starts accepting writes. The printed epoch frontier is
+// the durability guarantee: every batch the old leader acked at or below
+// it survived the failover.
+func cmdPromote(args []string) {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "follower endpoint to promote")
+	wait := fs.Duration("wait", 10*time.Second, "max time to let the tail drain before promoting (0 = promote immediately)")
+	fs.Parse(args)
+	if *addr == "" {
+		fatal(fmt.Errorf("promote: -addr is required"))
+	}
+	cli, err := server.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cli.Close()
+	// The RPC blocks server-side while the tail drains; keep the wire
+	// deadline comfortably past the drain budget.
+	cli.SetTimeout(*wait + 15*time.Second)
+	epoch, term, err := cli.Promote(*wait)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("promoted %s: leader at term %d, epoch frontier %d\n", *addr, term, epoch)
+	fmt.Printf("every batch acked at or below epoch %d survived the failover\n", epoch)
+}
+
+// endpoint is the client surface cmdClient drives; both the plain Client
+// and the FailoverClient satisfy it, so a comma-separated -addr upgrades
+// every mode to failover-aware transparently.
+type endpoint interface {
+	Close() error
+	Stats() (server.Info, error)
+	Reachable(u, v graph.Node, minEpoch uint64, onG bool) (bool, uint64, error)
+	Apply(batch []graph.Update) (uint64, error)
+	LastEpoch() uint64
+}
+
+// dialEndpoint connects to addr; a comma-separated addr becomes a
+// FailoverClient over the whole endpoint set (leader rediscovery with
+// capped backoff on fenced/stale/connection errors, read-your-writes
+// preserved across the switch).
+func dialEndpoint(addr string) (endpoint, error) {
+	if strings.Contains(addr, ",") {
+		return server.DialFailover(server.FailoverOptions{
+			Endpoints: strings.Split(addr, ","),
+		})
+	}
+	return server.Dial(addr)
 }
 
 // cmdClient drives a serving endpoint over the wire: one-shot reachability
 // (-from/-to), stats (-stats), a workload file (-workload; updates go to
 // -addr, which must be the leader), or a quiesced differential across
 // several endpoints (-verify -addrs): every endpoint must answer a seeded
-// query set identically at the leader's final epoch.
+// query set identically at the leader's final epoch. A comma-separated
+// -addr lists the leader and its followers; the client then survives a
+// failover mid-workload by rediscovering the promoted leader.
 func cmdClient(args []string) {
 	fs := flag.NewFlagSet("client", flag.ExitOnError)
-	addr := fs.String("addr", "", "server address")
+	addr := fs.String("addr", "", "server address, or a comma-separated endpoint set for failover")
 	addrs := fs.String("addrs", "", "comma-separated endpoints for -verify (first is the reference; default -addr)")
 	workload := fs.String("workload", "", "workload file to drive (updates require a writable endpoint)")
 	wbatch := fs.Int("wbatch", 64, "updates per Apply batch")
@@ -101,7 +162,7 @@ func cmdClient(args []string) {
 	if *addr == "" {
 		fatal(fmt.Errorf("client: -addr is required"))
 	}
-	cli, err := server.Dial(*addr)
+	cli, err := dialEndpoint(*addr)
 	if err != nil {
 		fatal(err)
 	}
@@ -151,7 +212,7 @@ func cmdClient(args []string) {
 // in batches (each ack's epoch advances the session's read-your-writes
 // token), queries read at that token — so every answer reflects all of the
 // session's own prior writes.
-func driveWorkload(cli *server.Client, path string, wbatch int) {
+func driveWorkload(cli endpoint, path string, wbatch int) {
 	wf, err := os.Open(path)
 	if err != nil {
 		fatal(err)

@@ -59,14 +59,27 @@ func cmdTop(args []string) {
 		renderTop(os.Stdout, sample, nil, 0, epoch, poll.target())
 		return
 	}
+	// The live dashboard outlives its endpoint: a scrape error (endpoint
+	// restarting, failing over, briefly unreachable) backs off with a cap
+	// and retries instead of exiting, so top keeps watching across a
+	// failover. Only -once and -require keep scrape errors fatal — they are
+	// assertions.
 	var prev metricSample
 	var prevAt time.Time
+	backoff := *interval
 	for {
 		sample, epoch, err := poll.scrape()
 		now := time.Now()
 		if err != nil {
-			fatal(err)
+			fmt.Printf("top: scrape %s: %v — retrying in %v\n", poll.target(), err, backoff.Round(time.Millisecond))
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > 10*time.Second {
+				backoff = 10 * time.Second
+			}
+			prev, prevAt = nil, time.Time{} // rates restart clean after the gap
+			continue
 		}
+		backoff = *interval
 		fmt.Print("\x1b[H\x1b[2J") // home + clear: repaint in place
 		var dt time.Duration
 		if !prevAt.IsZero() {
@@ -82,7 +95,9 @@ func cmdTop(args []string) {
 // e.g. `qpgc_query_stage_seconds{stage="leaf",quantile="0.99"}`) → value.
 type metricSample map[string]float64
 
-// poller abstracts the two scrape paths behind one call.
+// poller abstracts the two scrape paths behind one call. The binary
+// connection is dialed lazily and redialed after any scrape error, so a
+// restarted or failed-over endpoint heals on the next poll.
 type poller struct {
 	addr string
 	url  string
@@ -90,15 +105,7 @@ type poller struct {
 }
 
 func newPoller(addr, url string) *poller {
-	p := &poller{addr: addr, url: url}
-	if addr != "" {
-		cli, err := server.Dial(addr)
-		if err != nil {
-			fatal(err)
-		}
-		p.cli = cli
-	}
-	return p
+	return &poller{addr: addr, url: url}
 }
 
 func (p *poller) target() string {
@@ -119,10 +126,20 @@ func (p *poller) close() {
 func (p *poller) scrape() (metricSample, uint64, error) {
 	var text string
 	var epoch uint64
-	if p.cli != nil {
+	if p.addr != "" {
+		if p.cli == nil {
+			cli, err := server.Dial(p.addr)
+			if err != nil {
+				return nil, 0, err
+			}
+			cli.SetTimeout(5 * time.Second)
+			p.cli = cli
+		}
 		var err error
 		text, epoch, err = p.cli.Metrics()
 		if err != nil {
+			p.cli.Close()
+			p.cli = nil // redial on the next scrape
 			return nil, 0, err
 		}
 		if text == "" {
@@ -231,8 +248,11 @@ func renderTop(w io.Writer, cur, prev metricSample, dt time.Duration, rpcEpoch u
 		role = "replica"
 	}
 	health := "healthy"
-	if cur.get("qpgc_health_state") != 0 {
+	switch cur.get("qpgc_health_state") {
+	case 1:
 		health = "DEGRADED"
+	case 2:
+		health = "FENCED"
 	}
 	fmt.Fprintf(w, "qpgc top — %s  [%s]  epoch %.0f  %s\n", target, role, epoch, health)
 	fmt.Fprintf(w, "store   shards %.0f  batches %.0f  updates %.0f  reads %.0f  epoch age %.1fs\n",

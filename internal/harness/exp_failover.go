@@ -1,0 +1,236 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Failover experiment shape: the same failover-aware client drives an
+// identical write stream against (a) a leader that never fails and (b) a
+// leader that is killed mid-stream and replaced by a promoted follower.
+// The two costs of failover are then direct reads off one timeline: the
+// write-unavailability window (last ack on the old leader to first ack on
+// the new one) and the post-promotion throughput ratio against the control.
+const (
+	failBatchSz = 24
+	failWarm    = 300 * time.Millisecond
+	failMeasure = 1 * time.Second
+)
+
+// ExpFailover measures leader failover end to end over real TCP: a durable
+// leader takes a write stream from a failover-aware client while a
+// follower tails its WAL; the leader dies mid-stream, the follower is
+// promoted, the client rediscovers it and keeps writing. Post-promotion
+// write throughput must hold at least 90% of the never-failed control.
+func ExpFailover(cfg Config) *Table {
+	t := &Table{
+		ID:    "failover",
+		Title: "Leader failover: write-unavailability window and post-promotion throughput",
+		Header: []string{"dataset", "control w/s", "post-promo w/s", "ratio",
+			"unavail", "frontier", "failovers"},
+		Notes: []string{
+			"control w/s = acked write batches/s against a leader that never fails, same client and workload",
+			"post-promo w/s = acked write batches/s against the promoted follower, measured after the failover completes",
+			"unavail = gap between the last batch acked by the old leader and the first acked by the new one (client-observed)",
+			"frontier = promotion report's epoch frontier vs the last client-acked epoch before the kill; intact = nothing acked was lost, LOST a..b = batches the dead leader acked but had not yet shipped (the inherent loss window of asynchronous shipping, bounded by the follower's tail lag and named exactly by the promotion report)",
+			"ratio (post-promo / control) must hold >= 0.90",
+		},
+	}
+	for _, name := range []string{"socEpinions", "citHepTh"} {
+		d, ok := gen.DatasetByName(name)
+		if !ok {
+			continue
+		}
+		d = d.Scale(cfg.Scale)
+		t.Rows = append(t.Rows, failoverRow(cfg, name, d))
+	}
+	return t
+}
+
+// failoverWriter drives batches through a failover client until stop,
+// recording acked-batch count and the timestamps bracketing any outage.
+type failoverWriter struct {
+	acked     atomic.Uint64
+	lastEpoch atomic.Uint64
+	lastAck   atomic.Int64 // UnixNano of the most recent ack
+	gap       atomic.Int64 // widest ack-to-ack gap in ns
+	stop      atomic.Bool
+	done      chan struct{}
+}
+
+// run applies batches back to back, retrying through errors (the failover
+// client already retries internally; a returned error means its attempt
+// budget ran out mid-outage, so the loop just tries again).
+func (w *failoverWriter) run(cli *server.FailoverClient, d gen.Dataset, seed int64) {
+	defer close(w.done)
+	rng := rand.New(rand.NewSource(seed))
+	mirror := d.Build(seed)
+	w.lastAck.Store(time.Now().UnixNano())
+	for !w.stop.Load() {
+		b := gen.RandomBatch(rng, mirror, failBatchSz, 0.5)
+		epoch, err := cli.Apply(b)
+		if err != nil {
+			continue
+		}
+		mirror.Apply(b)
+		now := time.Now().UnixNano()
+		if prev := w.lastAck.Swap(now); now-prev > w.gap.Load() {
+			w.gap.Store(now - prev)
+		}
+		w.lastEpoch.Store(epoch)
+		w.acked.Add(1)
+	}
+}
+
+// measureWindow counts acks over the measure window and returns batches/s.
+func (w *failoverWriter) measureWindow() float64 {
+	before := w.acked.Load()
+	time.Sleep(failMeasure)
+	return float64(w.acked.Load()-before) / failMeasure.Seconds()
+}
+
+// failoverNode is one serving node of the experiment cluster.
+type failoverNode struct {
+	dir string
+	srv *server.Server
+}
+
+// startFailoverLeader opens a durable store on the dataset and serves it
+// with replication enabled.
+func startFailoverLeader(cfg Config, d gen.Dataset) (*store.Store, *failoverNode) {
+	dir, err := os.MkdirTemp("", "qpgc-fo-*")
+	if err != nil {
+		panic(err)
+	}
+	// No 2-hop indexes: the workload is write-only, and the follower's
+	// store opens without them — symmetric stores keep the control honest.
+	s, err := store.Open(d.Build(cfg.Seed), &store.Options{Dir: dir, Sync: store.SyncNone})
+	if err != nil {
+		panic(err)
+	}
+	srv, err := server.Start("127.0.0.1:0", server.Options{
+		Backend: server.NewStoreBackend(s), ReplDir: dir,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s, &failoverNode{dir: dir, srv: srv}
+}
+
+// failoverRow runs the failover lifecycle and its never-failed control for
+// one dataset. The failover leg runs first so the control can measure at
+// the same stream position (acked-batch count) as the post-promotion
+// window — per-batch cost grows with the graph, so comparing at different
+// positions would charge growth to the failover.
+func failoverRow(cfg Config, name string, d gen.Dataset) []string {
+	// Failover run: leader + tailing follower, then the kill.
+	s, leader := startFailoverLeader(cfg, d)
+	defer os.RemoveAll(leader.dir)
+	defer s.Close()
+	fdir, err := os.MkdirTemp("", "qpgc-fo-f*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(fdir)
+	f, err := replica.Start(replica.Options{
+		Dir: fdir, Leader: leader.srv.Addr(), PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	fsrv, err := server.Start("127.0.0.1:0", server.Options{Backend: f, ReplDir: fdir})
+	if err != nil {
+		panic(err)
+	}
+	defer fsrv.Close()
+
+	cli, err := server.DialFailover(server.FailoverOptions{
+		Endpoints: []string{leader.srv.Addr(), fsrv.Addr()},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cli.Close()
+	w := &failoverWriter{done: make(chan struct{})}
+	go w.run(cli, d, cfg.Seed+31)
+	time.Sleep(failWarm)
+
+	// The leader dies mid-stream. The operator promotes the follower; the
+	// client is on its own until the new leader exists.
+	ackedBeforeKill := w.lastEpoch.Load()
+	w.gap.Store(0) // from here, the widest gap IS the unavailability window
+	leader.srv.Close()
+	pcli, err := server.Dial(fsrv.Addr())
+	if err != nil {
+		panic(err)
+	}
+	frontier, _, err := pcli.Promote(30 * time.Second)
+	pcli.Close()
+	if err != nil {
+		panic(err)
+	}
+
+	// Wait for the client to land its first post-promotion ack, then
+	// measure steady-state throughput on the new leader.
+	for start := time.Now(); w.lastEpoch.Load() <= frontier; {
+		if time.Since(start) > 30*time.Second {
+			panic("failover: client never re-acked after promotion")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	measureStart := w.acked.Load()
+	postQPS := w.measureWindow()
+	w.stop.Store(true)
+	<-w.done
+	unavail := time.Duration(w.gap.Load())
+
+	// Control: the same client and workload against a leader that never
+	// fails, measured once its stream reaches the failover run's
+	// measurement position.
+	cs, cleader := startFailoverLeader(cfg, d)
+	control := func() float64 {
+		defer os.RemoveAll(cleader.dir)
+		defer cs.Close()
+		defer cleader.srv.Close()
+		ccli, err := server.DialFailover(server.FailoverOptions{Endpoints: []string{cleader.srv.Addr()}})
+		if err != nil {
+			panic(err)
+		}
+		defer ccli.Close()
+		cw := &failoverWriter{done: make(chan struct{})}
+		go cw.run(ccli, d, cfg.Seed+31)
+		for start := time.Now(); cw.acked.Load() < measureStart; {
+			if time.Since(start) > 60*time.Second {
+				panic("failover: control never reached the measurement position")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		qps := cw.measureWindow()
+		cw.stop.Store(true)
+		<-cw.done
+		return qps
+	}()
+
+	intact := "intact"
+	if frontier < ackedBeforeKill {
+		intact = fmt.Sprintf("LOST %d..%d", frontier+1, ackedBeforeKill)
+	}
+	return []string{
+		name,
+		fmt.Sprintf("%.0f", control),
+		fmt.Sprintf("%.0f", postQPS),
+		fmt.Sprintf("%.2f", postQPS/control),
+		ms(unavail),
+		intact,
+		fmt.Sprintf("%d", cli.Failovers()),
+	}
+}

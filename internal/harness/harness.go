@@ -127,6 +127,7 @@ func Experiments() []Experiment {
 		{"restart", "Durable store restart: cold rebuild vs snapshot load vs WAL replay", ExpRestart},
 		{"faults", "Self-healing under injected write faults: retry, degrade, recover", ExpFaults},
 		{"replicate", "WAL-shipping read replicas: aggregate capacity vs single store", ExpReplicate},
+		{"failover", "Leader failover: unavailability window and post-promotion throughput", ExpFailover},
 		{"obs", "Metrics instrumentation overhead: batched reads/writes A/B (store)", ExpObsOverhead},
 	}
 }

@@ -20,7 +20,8 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig12a", "fig12b", "fig12c", "fig12d",
 		"fig12e", "fig12f", "fig12g", "fig12h", "fig12i", "fig12j", "fig12k", "fig12l",
-		"serve", "batch", "batchsched", "shard", "restart", "faults", "replicate", "obs"}
+		"serve", "batch", "batchsched", "shard", "restart", "faults", "replicate",
+		"failover", "obs"}
 	if len(Experiments()) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(Experiments()), len(want))
 	}

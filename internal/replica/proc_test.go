@@ -7,6 +7,7 @@ package replica
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -57,11 +58,13 @@ func runLeaderHelper() {
 }
 
 // runFollowerHelper starts a follower at QPGC_DIR replicating from
-// QPGC_LEADER, fronts it with its own server, prints the address, and
-// blocks until killed.
+// QPGC_LEADER (a retry list), fronts it with its own server — replication
+// enabled, so siblings can chain from it and it can be promoted — prints
+// the address, and blocks until killed.
 func runFollowerHelper() {
+	dir := os.Getenv("QPGC_DIR")
 	f, err := Start(Options{
-		Dir:              os.Getenv("QPGC_DIR"),
+		Dir:              dir,
 		Leader:           os.Getenv("QPGC_LEADER"),
 		PollInterval:     2 * time.Millisecond,
 		ReconnectBackoff: 5 * time.Millisecond,
@@ -70,7 +73,7 @@ func runFollowerHelper() {
 		fmt.Fprintln(os.Stderr, "follower:", err)
 		os.Exit(1)
 	}
-	srv, err := server.Start("127.0.0.1:0", server.Options{Backend: f})
+	srv, err := server.Start("127.0.0.1:0", server.Options{Backend: f, ReplDir: dir})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "follower:", err)
 		os.Exit(1)
@@ -292,4 +295,88 @@ func TestSIGKILLFollowerMidCatchup(t *testing.T) {
 	}
 	// It must finish catch-up and answer exactly at the final epoch.
 	diffProcEndpoints(t, "sigkill", token, mirror, map[string]*server.Client{"restarted": f2cli})
+}
+
+// TestSIGKILLLeaderPromoteFailover is the headline failover differential,
+// with real processes: SIGKILL the leader mid-deployment, promote a
+// follower over the wire, let the surviving follower chain to the promoted
+// sibling through its retry list, keep writing — then restart the old
+// leader on its own directory and confirm the first new-term contact
+// fences it. Every acked epoch must answer exactly like an uninterrupted
+// store throughout.
+func TestSIGKILLLeaderPromoteFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	g := matrixTopologies(43)["web"]
+	dir := seedLeaderDir(t, g)
+	leader := spawnHelper(t, "leader", dir, "")
+	f1 := spawnHelper(t, "follower", t.TempDir(), leader.addr)
+	// f2's retry list names the sibling; that list is the failover plan.
+	f2 := spawnHelper(t, "follower", t.TempDir(), leader.addr+","+f1.addr)
+	lcli := dialHelper(t, leader)
+	f1cli := dialHelper(t, f1)
+	f2cli := dialHelper(t, f2)
+
+	mirror := g.Clone()
+	rng := rand.New(rand.NewSource(19))
+	var token uint64
+	applyBatches := func(cli *server.Client, k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			batch := gen.RandomBatch(rng, mirror, 12, 0.6)
+			mirror.Apply(batch)
+			epoch, err := cli.Apply(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			token = epoch
+		}
+	}
+	applyBatches(lcli, 10)
+	// The pinned diff doubles as a catch-up barrier: both followers have
+	// replicated every acked epoch before the leader dies.
+	diffProcEndpoints(t, "pre-kill", token, mirror, map[string]*server.Client{
+		"f1": f1cli, "f2": f2cli,
+	})
+
+	if err := leader.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	leader.cmd.Wait()
+
+	frontier, term, err := f1cli.Promote(10 * time.Second)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if frontier < token {
+		t.Fatalf("promotion frontier %d below acked token %d: acked batches lost", frontier, token)
+	}
+	if term == 0 {
+		t.Fatal("promotion did not move the term")
+	}
+
+	// Writes continue against the promoted follower; the survivor re-points
+	// to it and keeps replicating.
+	applyBatches(f1cli, 6)
+	diffProcEndpoints(t, "post-promote", token, mirror, map[string]*server.Client{
+		"promoted": f1cli, "survivor": f2cli,
+	})
+
+	// The old leader comes back from the dead on its own directory. Its
+	// store recovers every epoch it acked — and the first contact carrying
+	// the new term fences it for good.
+	old := spawnHelper(t, "leader", dir, "")
+	ocli := dialHelper(t, old)
+	ocli.SetTerm(term)
+	if _, err := ocli.Apply([]graph.Update{graph.Insertion(0, 1)}); !errors.Is(err, server.ErrFenced) {
+		t.Fatalf("restarted stale leader accepted a term-%d write: %v", term, err)
+	}
+	info, err := ocli.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Writable || info.Term != term {
+		t.Fatalf("restarted stale leader reports %+v, want fenced at term %d", info, term)
+	}
 }

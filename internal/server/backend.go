@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/pattern"
@@ -37,8 +38,27 @@ type Backend interface {
 	// Apply submits one batch and returns its visibility epoch (the RYW
 	// token); read-only backends return ErrReadOnly.
 	Apply(batch []graph.Update) (uint64, error)
+	// Term is the backend's current leader term (0 before any failover,
+	// and always 0 for in-memory stores).
+	Term() uint64
+	// ObserveTerm reacts to a term carried by a request. A leader-acting
+	// backend fences itself when t exceeds its own term; a follower adopts
+	// the term without fencing. Equal or lower terms are no-ops.
+	ObserveTerm(t uint64) error
+	// Writable reports whether Apply can currently succeed: a leader that
+	// is not fenced, or a promoted follower.
+	Writable() bool
 	// Info summarizes the store for MsgStats.
 	Info() Info
+}
+
+// Promoter is the optional promotion surface a Backend may implement —
+// replica followers do. Promote stops tailing (after waiting up to wait
+// for the tail to drain when wait > 0), bumps and fsyncs the term, and
+// starts serving Apply; it returns the follower's epoch frontier (no
+// acked batch at or below it was lost) and the new term.
+type Promoter interface {
+	Promote(wait time.Duration) (epoch, term uint64, err error)
 }
 
 // storeBackend fronts a monolithic Store.
@@ -76,12 +96,23 @@ func (b storeBackend) Apply(batch []graph.Update) (uint64, error) {
 	return res.Epoch, nil
 }
 
+func (b storeBackend) Term() uint64 { return b.s.Term() }
+
+// Fenced reports the store's fence state; the tail handler uses it to
+// mark shipped history as frozen.
+func (b storeBackend) Fenced() bool { return b.s.Fenced() }
+
+func (b storeBackend) ObserveTerm(t uint64) error { return b.s.ObserveTerm(t) }
+
+func (b storeBackend) Writable() bool { return !b.s.Fenced() }
+
 func (b storeBackend) Info() Info {
 	st := b.s.Stats()
 	return Info{
 		Kind:  "store",
 		Epoch: st.Epoch, Batches: st.Batches, Updates: st.Updates, Reads: st.Reads,
 		Nodes: st.Nodes, Edges: st.Edges, Shards: 1,
+		Term: b.s.Term(), Writable: !b.s.Fenced(),
 	}
 }
 
@@ -123,11 +154,21 @@ func (b shardedBackend) Apply(batch []graph.Update) (uint64, error) {
 	return res.Epoch, nil
 }
 
+func (b shardedBackend) Term() uint64 { return b.s.Term() }
+
+// Fenced reports the store's fence state, as storeBackend.Fenced.
+func (b shardedBackend) Fenced() bool { return b.s.Fenced() }
+
+func (b shardedBackend) ObserveTerm(t uint64) error { return b.s.ObserveTerm(t) }
+
+func (b shardedBackend) Writable() bool { return !b.s.Fenced() }
+
 func (b shardedBackend) Info() Info {
 	st := b.s.Stats()
 	return Info{
 		Kind:  "sharded",
 		Epoch: st.Epoch, Batches: st.Batches, Updates: st.Updates, Reads: st.Reads,
 		Nodes: st.Nodes, Edges: st.Edges, Shards: st.Shards,
+		Term: b.s.Term(), Writable: !b.s.Fenced(),
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -19,9 +20,50 @@ import (
 // old to catch up by log shipping and must re-bootstrap from a snapshot.
 var ErrSnapshotNeeded = errors.New("server: tail position truncated; snapshot needed")
 
+// ErrFenced matches (via errors.Is) a WireError reporting that the
+// endpoint fenced itself after observing a newer leader term: a newer
+// leader exists somewhere and the client should rediscover it.
+var ErrFenced = errors.New("server: endpoint fenced by newer leader term")
+
+// ErrStaleTerm matches (via errors.Is) a WireError reporting that the
+// request carried a term below the endpoint's: the client's leader view
+// predates a promotion.
+var ErrStaleTerm = errors.New("server: stale leader term")
+
+// WireError is a server-reported failure, carrying the error code and the
+// epoch the endpoint was at. errors.Is matches it against ErrReadOnly,
+// ErrFenced and ErrStaleTerm by code.
+type WireError struct {
+	// Code is one of the ErrCode constants (ErrCodeGeneric for unclassed
+	// failures and pre-failover peers).
+	Code byte
+	// Epoch is the endpoint's epoch when it failed the request.
+	Epoch uint64
+	// Msg is the server's error text.
+	Msg string
+}
+
+// Error formats the failure as the server reported it.
+func (e *WireError) Error() string { return "server: " + e.Msg }
+
+// Is maps the wire code onto the package's sentinel errors.
+func (e *WireError) Is(target error) bool {
+	switch target {
+	case ErrReadOnly:
+		return e.Code == ErrCodeReadOnly
+	case ErrFenced:
+		return e.Code == ErrCodeFenced
+	case ErrStaleTerm:
+		return e.Code == ErrCodeStaleTerm
+	}
+	return false
+}
+
 // Client is a synchronous wire-protocol client. One request is in flight
 // at a time (methods serialize); it remembers the largest epoch any
-// response carried and offers it as the default read-your-writes token.
+// response carried and offers it as the default read-your-writes token,
+// and likewise the largest leader term, which it attaches to writes and
+// tail polls so stale leaders fence themselves on contact.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -29,8 +71,12 @@ type Client struct {
 	bw   *bufio.Writer
 	buf  []byte
 
+	timeout atomic.Int64 // per-request deadline, ns; 0 = none
+
 	epochMu   sync.Mutex
 	lastEpoch uint64
+	lastTerm  uint64
+	srcFenced bool
 }
 
 // Dial connects to a server.
@@ -67,9 +113,56 @@ func (c *Client) noteEpoch(e uint64) {
 	c.epochMu.Unlock()
 }
 
+// LastTerm is the largest leader term seen in any response (or set by
+// SetTerm). Writes and tail polls carry it, so any stale leader the
+// client contacts fences itself instead of accepting a divergent write.
+func (c *Client) LastTerm() uint64 {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	return c.lastTerm
+}
+
+// SetTerm raises the term the client attaches to requests — monotonic,
+// like noteTerm. A follower seeds a fresh connection with its local term;
+// a failover client carries the term across reconnects.
+func (c *Client) SetTerm(t uint64) { c.noteTerm(t) }
+
+// noteTerm folds a response term into the session's term (monotonic).
+func (c *Client) noteTerm(t uint64) {
+	c.epochMu.Lock()
+	if t > c.lastTerm {
+		c.lastTerm = t
+	}
+	c.epochMu.Unlock()
+}
+
+// SourceFenced reports whether the last TailRound's MsgCaughtUp came from
+// a fenced endpoint — frozen history that can never advance. Followers use
+// it to rotate to a live source.
+func (c *Client) SourceFenced() bool {
+	c.epochMu.Lock()
+	defer c.epochMu.Unlock()
+	return c.srcFenced
+}
+
+// SetTimeout arms a per-request deadline: every subsequent request (and
+// every frame of a streaming one) must complete within d or the
+// connection errors out. 0 disables the deadline. Safe to call
+// concurrently with requests.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout.Store(int64(d)) }
+
+// arm pushes the connection deadline forward by the configured timeout;
+// no-op when none is set.
+func (c *Client) arm() {
+	if d := time.Duration(c.timeout.Load()); d > 0 {
+		c.conn.SetDeadline(time.Now().Add(d))
+	}
+}
+
 // roundTrip sends one frame and reads one response frame. The returned
 // body aliases the client's buffer: decode before the next call.
 func (c *Client) roundTrip(t MsgType, body []byte) (MsgType, []byte, error) {
+	c.arm()
 	if err := WriteFrame(c.bw, t, body); err != nil {
 		return 0, nil, err
 	}
@@ -84,16 +177,17 @@ func (c *Client) roundTrip(t MsgType, body []byte) (MsgType, []byte, error) {
 	return rt, rbody, nil
 }
 
-// decodeErr turns a MsgErr body into an error (noting its epoch).
+// decodeErr turns a MsgErr body into a *WireError (noting its epoch).
 func (c *Client) decodeErr(body []byte) error {
 	cur := &cursor{b: body}
 	epoch := cur.u64()
+	code := cur.u8()
 	msg := cur.rest()
 	if cur.err != nil {
 		return fmt.Errorf("server: malformed error response")
 	}
 	c.noteEpoch(epoch)
-	return fmt.Errorf("server: %s", msg)
+	return &WireError{Code: code, Epoch: epoch, Msg: string(msg)}
 }
 
 // Ping checks liveness and returns the server's current epoch.
@@ -221,9 +315,12 @@ func (c *Client) Match(p *pattern.Pattern, minEpoch uint64) (*pattern.Result, ui
 }
 
 // Apply submits one update batch and returns its visibility epoch — the
-// read-your-writes token for subsequent reads anywhere in the fleet.
+// read-your-writes token for subsequent reads anywhere in the fleet. The
+// request carries the session's term, so a stale leader rejects it (and
+// fences itself) instead of diverging.
 func (c *Client) Apply(batch []graph.Update) (uint64, error) {
-	req := store.EncodeBatch(nil, batch)
+	req := binary.LittleEndian.AppendUint64(nil, c.LastTerm())
+	req = store.EncodeBatch(req, batch)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t, body, err := c.roundTrip(MsgApply, req)
@@ -234,10 +331,12 @@ func (c *Client) Apply(batch []graph.Update) (uint64, error) {
 	case MsgApplied:
 		cur := &cursor{b: body}
 		epoch := cur.u64()
+		term := cur.u64()
 		if err := cur.fin(); err != nil {
 			return 0, err
 		}
 		c.noteEpoch(epoch)
+		c.noteTerm(term)
 		return epoch, nil
 	case MsgErr:
 		return 0, c.decodeErr(body)
@@ -260,6 +359,7 @@ func (c *Client) Stats() (Info, error) {
 			return Info{}, derr
 		}
 		c.noteEpoch(in.Epoch)
+		c.noteTerm(in.Term)
 		return in, nil
 	case MsgErr:
 		return Info{}, c.decodeErr(body)
@@ -297,6 +397,7 @@ func (c *Client) Metrics() (string, uint64, error) {
 func (c *Client) FetchSnapshot() (kind string, epoch uint64, data []byte, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.arm()
 	if err := WriteFrame(c.bw, MsgSnapshot, nil); err != nil {
 		return "", 0, nil, err
 	}
@@ -318,15 +419,18 @@ func (c *Client) FetchSnapshot() (kind string, epoch uint64, data []byte, err er
 	cur := &cursor{b: body}
 	epoch = cur.u64()
 	total := cur.u64()
+	term := cur.u64()
 	kind = string(cur.rest())
 	if cur.err != nil {
 		return "", 0, nil, cur.err
 	}
+	c.noteTerm(term)
 	if total > 1<<32 {
 		return "", 0, nil, fmt.Errorf("server: snapshot claims %d bytes", total)
 	}
 	data = make([]byte, 0, total)
 	for {
+		c.arm()
 		t, body, err := ReadFrame(c.br, c.buf)
 		if err != nil {
 			return "", 0, nil, err
@@ -367,7 +471,9 @@ func (c *Client) FetchSnapshot() (kind string, epoch uint64, data []byte, err er
 func (c *Client) TailRound(from uint64, fn func(seq uint64, frame []byte) error) (leaderEpoch uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.arm()
 	req := binary.LittleEndian.AppendUint64(nil, from)
+	req = binary.LittleEndian.AppendUint64(req, c.LastTerm())
 	if err := WriteFrame(c.bw, MsgTail, req); err != nil {
 		return 0, err
 	}
@@ -375,6 +481,7 @@ func (c *Client) TailRound(from uint64, fn func(seq uint64, frame []byte) error)
 		return 0, err
 	}
 	for {
+		c.arm()
 		t, body, err := ReadFrame(c.br, c.buf)
 		if err != nil {
 			return 0, err
@@ -396,10 +503,16 @@ func (c *Client) TailRound(from uint64, fn func(seq uint64, frame []byte) error)
 		case MsgCaughtUp:
 			cur := &cursor{b: body}
 			e := cur.u64()
+			term := cur.u64()
+			fenced := cur.u8()
 			if err := cur.fin(); err != nil {
 				return 0, err
 			}
 			c.noteEpoch(e)
+			c.noteTerm(term)
+			c.epochMu.Lock()
+			c.srcFenced = fenced == 1
+			c.epochMu.Unlock()
 			return e, nil
 		case MsgSnapNeeded:
 			return 0, ErrSnapshotNeeded
@@ -409,4 +522,33 @@ func (c *Client) TailRound(from uint64, fn func(seq uint64, frame []byte) error)
 			return 0, fmt.Errorf("server: unexpected frame 0x%02x in tail stream", byte(t))
 		}
 	}
+}
+
+// Promote asks a follower endpoint to promote itself to leader, first
+// waiting up to wait for its tail to drain (0 = promote immediately). It
+// returns the promoted follower's epoch frontier — every batch acked at
+// or below it survived the failover — and the new term.
+func (c *Client) Promote(wait time.Duration) (epoch, term uint64, err error) {
+	req := binary.LittleEndian.AppendUint64(nil, uint64(wait/time.Millisecond))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, body, err := c.roundTrip(MsgPromote, req)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch t {
+	case MsgPromoted:
+		cur := &cursor{b: body}
+		epoch = cur.u64()
+		term = cur.u64()
+		if err := cur.fin(); err != nil {
+			return 0, 0, err
+		}
+		c.noteEpoch(epoch)
+		c.noteTerm(term)
+		return epoch, term, nil
+	case MsgErr:
+		return 0, 0, c.decodeErr(body)
+	}
+	return 0, 0, fmt.Errorf("server: unexpected response 0x%02x to promote", byte(t))
 }

@@ -45,26 +45,35 @@ const (
 	// MsgMatch asks a pattern query: u64 minEpoch, then the pattern
 	// (EncodePattern).
 	MsgMatch MsgType = 0x04
-	// MsgApply submits one update batch in the WAL payload encoding
-	// (store.EncodeBatch); the MsgApplied response carries the RYW token.
+	// MsgApply submits one update batch: u64 callerTerm (0 = no term
+	// claim), then the WAL payload encoding (store.EncodeBatch). A caller
+	// term above the endpoint's fences it; below, the write is rejected as
+	// stale. The MsgApplied response carries the RYW token and the term.
 	MsgApply MsgType = 0x05
 	// MsgStats asks for a store summary (MsgInfo response).
 	MsgStats MsgType = 0x06
 	// MsgSnapshot asks the replication source for the newest checkpoint:
 	// MsgSnapMeta, then MsgSnapChunk frames, then MsgSnapDone.
 	MsgSnapshot MsgType = 0x07
-	// MsgTail asks for WAL frames from u64 fromSeq: MsgRecord frames for
-	// what is on disk now, then MsgCaughtUp (or MsgSnapNeeded when fromSeq
-	// predates the oldest retained segment). Followers poll.
+	// MsgTail asks for WAL frames from u64 fromSeq, followed by the u64
+	// callerTerm (0 = no claim): MsgRecord frames for what is on disk now,
+	// then MsgCaughtUp (or MsgSnapNeeded when fromSeq predates the oldest
+	// retained segment). Followers poll; a follower that adopted a newer
+	// term fences a stale source just by polling it.
 	MsgTail MsgType = 0x08
 	// MsgMetrics asks for the server's metrics scrape; the MsgMetricsText
 	// response carries the Prometheus text exposition. No body.
 	MsgMetrics MsgType = 0x09
+	// MsgPromote asks a follower endpoint to promote itself to leader: u64
+	// wait millis (0 = promote immediately, else first wait to catch up).
+	// The MsgPromoted response names the epoch frontier and the new term;
+	// a non-follower backend answers MsgErr.
+	MsgPromote MsgType = 0x0a
 )
 
 // Response frame types. Every body begins with a u64 epoch.
 const (
-	// MsgErr carries the error text after the epoch.
+	// MsgErr carries a u8 error code and the error text after the epoch.
 	MsgErr MsgType = 0x40
 	// MsgEpoch is an epoch alone (ping response).
 	MsgEpoch MsgType = 0x41
@@ -75,11 +84,13 @@ const (
 	// MsgMatched is a match result: epoch, u8 ok, u32 k, then k node sets
 	// (u32 len, len u32 ids).
 	MsgMatched MsgType = 0x44
-	// MsgApplied acknowledges an Apply: the epoch is the batch's RYW token.
+	// MsgApplied acknowledges an Apply: the epoch is the batch's RYW
+	// token, followed by the u64 term it was accepted under.
 	MsgApplied MsgType = 0x45
 	// MsgInfo is an encoded Info summary.
 	MsgInfo MsgType = 0x46
-	// MsgSnapMeta opens a snapshot transfer: epoch, u64 total bytes, kind.
+	// MsgSnapMeta opens a snapshot transfer: epoch, u64 total bytes, u64
+	// term, kind.
 	MsgSnapMeta MsgType = 0x47
 	// MsgSnapChunk carries snapshot bytes after the epoch.
 	MsgSnapChunk MsgType = 0x48
@@ -90,7 +101,9 @@ const (
 	// follower, not the shipping path, is the integrity gate.
 	MsgRecord MsgType = 0x4a
 	// MsgCaughtUp ends a tail round: the epoch is the leader's newest
-	// durable seq, the follower's staleness reference.
+	// durable seq, the follower's staleness reference, followed by the u64
+	// leader term and a u8 fenced flag. A fenced source's WAL is safe,
+	// frozen history that can never advance — followers rotate away.
 	MsgCaughtUp MsgType = 0x4b
 	// MsgSnapNeeded rejects a tail round: fromSeq predates the oldest
 	// retained WAL segment (the epoch is the oldest available seq); the
@@ -99,6 +112,26 @@ const (
 	// MsgMetricsText carries the Prometheus text exposition after the
 	// epoch; empty text when the server runs without a registry.
 	MsgMetricsText MsgType = 0x4d
+	// MsgPromoted acknowledges a MsgPromote: the epoch is the promoted
+	// follower's frontier (every batch acked at or below it survived the
+	// failover), followed by the u64 new term.
+	MsgPromoted MsgType = 0x4e
+)
+
+// Error codes carried by MsgErr after the epoch, so clients can react to
+// the class of failure (retry elsewhere, rediscover the leader) without
+// string matching. Unknown codes are treated as ErrCodeGeneric.
+const (
+	// ErrCodeGeneric is any error without a more specific class.
+	ErrCodeGeneric byte = 0
+	// ErrCodeReadOnly: the endpoint is a follower and cannot accept writes.
+	ErrCodeReadOnly byte = 1
+	// ErrCodeFenced: the endpoint observed a newer leader term and fenced
+	// itself; a newer leader exists somewhere.
+	ErrCodeFenced byte = 2
+	// ErrCodeStaleTerm: the request carried a term below the endpoint's —
+	// the caller's leader view is stale.
+	ErrCodeStaleTerm byte = 3
 )
 
 // errShortFrame reports a frame body too short for its type.
@@ -375,6 +408,11 @@ type Info struct {
 	Nodes, Edges int
 	// Shards is the partition count (1 for monolithic stores).
 	Shards int
+	// Term is the endpoint's leader term (0 before any failover).
+	Term uint64
+	// Writable reports whether the endpoint currently accepts Apply:
+	// leaders that are not fenced, and promoted followers.
+	Writable bool
 }
 
 // encodeInfo appends the wire form of an Info after the epoch prefix.
@@ -386,6 +424,12 @@ func encodeInfo(buf []byte, in Info) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Nodes))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Edges))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Shards))
+	buf = binary.LittleEndian.AppendUint64(buf, in.Term)
+	if in.Writable {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	buf = append(buf, in.Kind...)
 	return buf
 }
@@ -401,6 +445,8 @@ func decodeInfo(body []byte) (Info, error) {
 	in.Nodes = int(c.u32())
 	in.Edges = int(c.u32())
 	in.Shards = int(c.u32())
+	in.Term = c.u64()
+	in.Writable = c.u8() == 1
 	in.Kind = string(c.rest())
 	if c.err != nil {
 		return Info{}, c.err

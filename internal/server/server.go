@@ -204,10 +204,30 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// errBody builds a MsgErr body at the current epoch.
+// errStaleTerm rejects a write whose caller term is below the endpoint's:
+// the caller's leader view predates a promotion.
+var errStaleTerm = errors.New("server: stale leader term")
+
+// errBody builds a MsgErr body at the current epoch: epoch, error code,
+// text. The code classifies failover-relevant failures so clients redirect
+// without string matching.
 func (s *Server) errBody(err error) []byte {
 	body := binary.LittleEndian.AppendUint64(nil, s.backend.Epoch())
+	body = append(body, errCode(err))
 	return append(body, err.Error()...)
+}
+
+// errCode maps an error to its wire code.
+func errCode(err error) byte {
+	switch {
+	case errors.Is(err, ErrReadOnly):
+		return ErrCodeReadOnly
+	case errors.Is(err, store.ErrFenced):
+		return ErrCodeFenced
+	case errors.Is(err, errStaleTerm):
+		return ErrCodeStaleTerm
+	}
+	return ErrCodeGeneric
 }
 
 // waitEpoch blocks until the backend's published epoch reaches minEpoch —
@@ -353,7 +373,23 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		return emit(MsgMatched, out)
 
 	case MsgApply:
-		batch, err := store.DecodeBatch(body, s.backend.NumNodes())
+		if len(body) < 8 {
+			return emit(MsgErr, s.errBody(errShortFrame))
+		}
+		callerTerm := binary.LittleEndian.Uint64(body)
+		// A term claim of 0 means "no claim" (pre-failover clients); any
+		// other value is checked against the local term. A higher caller
+		// term proves another node was promoted — observing it fences a
+		// leader-acting backend before the write is rejected. A lower one
+		// marks the caller's leader view as stale.
+		if callerTerm != 0 {
+			if local := s.backend.Term(); callerTerm > local {
+				s.backend.ObserveTerm(callerTerm)
+			} else if callerTerm < local {
+				return emit(MsgErr, s.errBody(fmt.Errorf("%w: caller term %d, endpoint term %d", errStaleTerm, callerTerm, local)))
+			}
+		}
+		batch, err := store.DecodeBatch(body[8:], s.backend.NumNodes())
 		if err != nil {
 			return emit(MsgErr, s.errBody(err))
 		}
@@ -361,7 +397,9 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 		if err != nil {
 			return emit(MsgErr, s.errBody(err))
 		}
-		return emit(MsgApplied, binary.LittleEndian.AppendUint64(nil, epoch))
+		out := binary.LittleEndian.AppendUint64(nil, epoch)
+		out = binary.LittleEndian.AppendUint64(out, s.backend.Term())
+		return emit(MsgApplied, out)
 
 	case MsgStats:
 		if len(body) != 0 {
@@ -382,6 +420,24 @@ func (s *Server) handleRequest(t MsgType, body []byte, emit func(MsgType, []byte
 
 	case MsgTail:
 		return s.handleTail(body, emit)
+
+	case MsgPromote:
+		c := &cursor{b: body}
+		waitMs := c.u64()
+		if err := c.fin(); err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		p, ok := s.backend.(Promoter)
+		if !ok {
+			return emit(MsgErr, s.errBody(errors.New("server: backend is not promotable (not a follower)")))
+		}
+		epoch, term, err := p.Promote(time.Duration(waitMs) * time.Millisecond)
+		if err != nil {
+			return emit(MsgErr, s.errBody(err))
+		}
+		out := binary.LittleEndian.AppendUint64(nil, epoch)
+		out = binary.LittleEndian.AppendUint64(out, term)
+		return emit(MsgPromoted, out)
 
 	default:
 		return emit(MsgErr, s.errBody(fmt.Errorf("server: unknown request type 0x%02x", byte(t))))
@@ -411,6 +467,7 @@ func (s *Server) handleSnapshot(body []byte, emit func(MsgType, []byte) error) e
 	}
 	meta := binary.LittleEndian.AppendUint64(nil, info.Epoch)
 	meta = binary.LittleEndian.AppendUint64(meta, uint64(len(data)))
+	meta = binary.LittleEndian.AppendUint64(meta, s.backend.Term())
 	meta = append(meta, info.Kind...)
 	if err := emit(MsgSnapMeta, meta); err != nil {
 		return err
@@ -437,8 +494,15 @@ func (s *Server) handleTail(body []byte, emit func(MsgType, []byte) error) error
 	}
 	c := &cursor{b: body}
 	from := c.u64()
+	callerTerm := c.u64()
 	if err := c.fin(); err != nil {
 		return emit(MsgErr, s.errBody(err))
+	}
+	// A follower that adopted a newer term fences a stale source just by
+	// polling it: the shipped WAL stays readable (it is frozen, safe
+	// history), but the source's write path shuts before it can diverge.
+	if callerTerm > s.backend.Term() {
+		s.backend.ObserveTerm(callerTerm)
 	}
 	if from == 0 {
 		// Seq 0 never exists (epochs are 1-based); a follower at epoch 0
@@ -459,7 +523,16 @@ func (s *Server) handleTail(body []byte, emit func(MsgType, []byte) error) error
 			return err
 		}
 	}
-	return emit(MsgCaughtUp, binary.LittleEndian.AppendUint64(nil, s.backend.Epoch()))
+	out := binary.LittleEndian.AppendUint64(nil, s.backend.Epoch())
+	out = binary.LittleEndian.AppendUint64(out, s.backend.Term())
+	// The fenced flag is what lets a follower distinguish a deposed leader
+	// (frozen history, rotate away) from a healthy chained sibling (also
+	// not writable, but advancing). Both concrete backends implement it.
+	fenced := byte(0)
+	if fc, ok := s.backend.(interface{ Fenced() bool }); ok && fc.Fenced() {
+		fenced = 1
+	}
+	return emit(MsgCaughtUp, append(out, fenced))
 }
 
 // admitRead blocks until the read rate limiter grants a token (no-op when

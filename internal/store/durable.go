@@ -65,6 +65,11 @@ type durable struct {
 	writeRetries atomic.Uint64
 	degradations atomic.Uint64
 	recoveries   atomic.Uint64
+	fences       atomic.Uint64
+
+	// termState is the leader-term metadata backing failover fencing; the
+	// codec and transition rules live in term.go.
+	termState
 
 	// Degraded-time accounting for qpgc_health_degraded_seconds_total:
 	// degradedSince holds the unix nanos of the live degradation (0 while
@@ -171,6 +176,9 @@ func newDurable(cfg durableConfig, kind snapfile.Kind) (*durable, error) {
 		d.lastCkpt.Store(m.epoch)
 		d.ckptEver.Store(true)
 	}
+	if err := d.loadTerm(); err != nil {
+		return nil, err
+	}
 	d.bindObs(cfg.obsReg)
 	return d, nil
 }
@@ -184,11 +192,15 @@ func (d *durable) bindObs(r *obs.Registry) {
 	}
 	d.obsReg = r
 	r.GaugeFunc("qpgc_health_state", func() float64 {
-		return float64(d.health.Load()) // 0 healthy, 1 degraded
+		return float64(d.health.Load()) // 0 healthy, 1 degraded, 2 fenced
 	})
 	r.CounterFunc("qpgc_health_retries_total", d.writeRetries.Load)
 	r.CounterFunc("qpgc_health_degradations_total", d.degradations.Load)
 	r.CounterFunc("qpgc_health_recoveries_total", d.recoveries.Load)
+	r.CounterFunc("qpgc_health_fences_total", d.fences.Load)
+	r.GaugeFunc("qpgc_store_term", func() float64 {
+		return float64(d.term.Load())
+	})
 	// A gauge func, not a counter: degraded windows are usually sub-second
 	// and an integer counter would round them all to zero. The value is
 	// still monotone — rate() works on it.

@@ -52,6 +52,12 @@ const (
 	// with the degradation reason, and the recovery loop is probing the
 	// directory to re-arm.
 	Degraded
+	// Fenced means the store observed a newer leader term: another node was
+	// promoted, so this one is read-only by protocol, not by fault. Reads
+	// keep serving, writes fail fast with ErrFenced, and — unlike Degraded —
+	// the recovery loop never re-arms it; only a term bump (promotion)
+	// clears a fence.
+	Fenced
 )
 
 // String names the state for logs and CLI output.
@@ -61,6 +67,8 @@ func (h HealthState) String() string {
 		return "healthy"
 	case Degraded:
 		return "degraded"
+	case Fenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("health(%d)", int32(h))
 	}
@@ -68,10 +76,12 @@ func (h HealthState) String() string {
 
 // Health is a point-in-time report of a durable store's condition.
 type Health struct {
-	// State is Healthy or Degraded.
+	// State is Healthy, Degraded, or Fenced.
 	State HealthState
-	// Reason is the degradation cause, "" while Healthy.
+	// Reason is the degradation or fencing cause, "" while Healthy.
 	Reason string
+	// Term is the store's persisted leader term (0 before any failover).
+	Term uint64
 	// Retries counts transient write faults absorbed by in-place retry
 	// (the caller never saw them).
 	Retries uint64
@@ -112,8 +122,8 @@ const (
 	probeName               = "health.probe"
 )
 
-// degradedErr returns the degradation reason while Degraded, nil while
-// Healthy.
+// degradedErr returns the degradation or fencing reason while not
+// Healthy, nil while Healthy.
 func (d *durable) degradedErr() error {
 	if HealthState(d.health.Load()) == Healthy {
 		return nil
@@ -124,19 +134,35 @@ func (d *durable) degradedErr() error {
 	return errors.New("store: write path degraded")
 }
 
-// degrade moves the write path to Degraded. Writer goroutine only.
+// degrade moves the write path to Degraded. Writer goroutine only. A
+// fence outranks a fault: if the store is (or concurrently becomes)
+// Fenced, the transition is skipped — the CAS loop, not a blind swap, is
+// what keeps a racing fenceNow from being overwritten.
 func (d *durable) degrade(cause error) {
-	d.reason.Store(fmt.Errorf("store: write path degraded: %w", cause))
-	if d.health.Swap(int32(Degraded)) != int32(Degraded) {
-		d.degradations.Add(1)
-		d.degradedSince.Store(time.Now().UnixNano())
+	for {
+		cur := d.health.Load()
+		if cur == int32(Fenced) {
+			return
+		}
+		if cur == int32(Degraded) {
+			d.reason.Store(fmt.Errorf("store: write path degraded: %w", cause))
+			return
+		}
+		if d.health.CompareAndSwap(cur, int32(Degraded)) {
+			d.reason.Store(fmt.Errorf("store: write path degraded: %w", cause))
+			d.degradations.Add(1)
+			d.degradedSince.Store(time.Now().UnixNano())
+			return
+		}
 	}
 }
 
 // rearm moves the write path back to Healthy. Recovery loop only, after
-// the probe, emergency checkpoint and WAL reset all succeeded.
+// the probe, emergency checkpoint and WAL reset all succeeded. The CAS
+// from Degraded means a concurrent fence can never be re-armed here —
+// only bumpTerm clears a fence.
 func (d *durable) rearm() {
-	if d.health.Swap(int32(Healthy)) != int32(Healthy) {
+	if d.health.CompareAndSwap(int32(Degraded), int32(Healthy)) {
 		d.recoveries.Add(1)
 		if since := d.degradedSince.Swap(0); since != 0 {
 			d.degradedNs.Add(time.Now().UnixNano() - since)
@@ -144,15 +170,40 @@ func (d *durable) rearm() {
 	}
 }
 
+// fenceNow forces the state to Fenced from any prior state, closing an
+// open degraded-time window. Term transitions (term.go) are the only
+// callers.
+func (d *durable) fenceNow(cause error) {
+	d.reason.Store(cause)
+	prev := d.health.Swap(int32(Fenced))
+	if prev == int32(Fenced) {
+		return
+	}
+	d.fences.Add(1)
+	if prev == int32(Degraded) {
+		if since := d.degradedSince.Swap(0); since != 0 {
+			d.degradedNs.Add(time.Now().UnixNano() - since)
+		}
+	}
+}
+
+// unfence re-arms a fenced write path after a term bump. Any transient
+// fault that was pending when the fence landed has been superseded: the
+// writer will rediscover it and degrade normally.
+func (d *durable) unfence() {
+	d.health.CompareAndSwap(int32(Fenced), int32(Healthy))
+}
+
 // healthReport assembles the Health snapshot.
 func (d *durable) healthReport() Health {
 	h := Health{
 		State:        HealthState(d.health.Load()),
+		Term:         d.term.Load(),
 		Retries:      d.writeRetries.Load(),
 		Degradations: d.degradations.Load(),
 		Recoveries:   d.recoveries.Load(),
 	}
-	if h.State == Degraded {
+	if h.State != Healthy {
 		if err, ok := d.reason.Load().(error); ok {
 			h.Reason = err.Error()
 		}

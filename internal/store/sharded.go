@@ -897,6 +897,52 @@ func (s *ShardedStore) Health() Health {
 	return s.dur.healthReport()
 }
 
+// Term returns the store's persisted leader term, as Store.Term; 0 on an
+// in-memory store.
+func (s *ShardedStore) Term() uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.term.Load()
+}
+
+// Fenced reports whether the store has fenced itself read-only after
+// observing a newer leader term, as Store.Fenced.
+func (s *ShardedStore) Fenced() bool {
+	if s.dur == nil {
+		return false
+	}
+	return HealthState(s.dur.health.Load()) == Fenced
+}
+
+// ObserveTerm fences the store read-only if t is above its own term, as
+// Store.ObserveTerm. No-op on an in-memory store.
+func (s *ShardedStore) ObserveTerm(t uint64) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.observeTerm(t)
+}
+
+// AdoptTerm raises the store's term to t without fencing, as
+// Store.AdoptTerm. No-op on an in-memory store.
+func (s *ShardedStore) AdoptTerm(t uint64) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.adoptTerm(t)
+}
+
+// BumpTerm moves the store to a fresh term above both its own term and
+// min, clearing any fence, as Store.BumpTerm; ErrNotDurable on an
+// in-memory store.
+func (s *ShardedStore) BumpTerm(min uint64) (uint64, error) {
+	if s.dur == nil {
+		return 0, ErrNotDurable
+	}
+	return s.dur.bumpTerm(min)
+}
+
 // ScrubNow runs one integrity scrub pass synchronously, as Store.ScrubNow;
 // ErrNotDurable on an in-memory store.
 func (s *ShardedStore) ScrubNow() (ScrubReport, error) {

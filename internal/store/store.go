@@ -659,6 +659,56 @@ func (s *Store) Health() Health {
 	return s.dur.healthReport()
 }
 
+// Term returns the store's persisted leader term; 0 on an in-memory store
+// (terms only mean something for durable, replicable stores).
+func (s *Store) Term() uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.term.Load()
+}
+
+// Fenced reports whether the store has fenced itself read-only after
+// observing a newer leader term.
+func (s *Store) Fenced() bool {
+	if s.dur == nil {
+		return false
+	}
+	return HealthState(s.dur.health.Load()) == Fenced
+}
+
+// ObserveTerm is the leader-side term check: if t is above the store's own
+// term, another node was promoted and this store fences itself read-only
+// (writes fail fast with ErrFenced; reads keep serving). Equal or lower
+// terms, and in-memory stores, are no-ops.
+func (s *Store) ObserveTerm(t uint64) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.observeTerm(t)
+}
+
+// AdoptTerm is the follower-side term check: raise the store's term to t
+// without fencing, so a follower tailing a newly promoted leader keeps
+// applying shipped batches. Equal or lower terms, and in-memory stores,
+// are no-ops.
+func (s *Store) AdoptTerm(t uint64) error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.adoptTerm(t)
+}
+
+// BumpTerm moves the store to a fresh term strictly above both its own
+// term and min, fsyncs it, and clears any fence — the promotion step. It
+// returns the new term, or ErrNotDurable on an in-memory store.
+func (s *Store) BumpTerm(min uint64) (uint64, error) {
+	if s.dur == nil {
+		return 0, ErrNotDurable
+	}
+	return s.dur.bumpTerm(min)
+}
+
 // ScrubNow runs one integrity scrub pass synchronously — verify sealed WAL
 // segments and snapshot checksums, quarantine corrupt files, re-checkpoint
 // if anything was set aside — and returns its report. It works whether or

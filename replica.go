@@ -22,13 +22,24 @@ type (
 	// cadences, resync threshold).
 	ReplicaOptions = replica.Options
 	// ReplicaStatus is a point-in-time replication report
-	// (Follower.Status): epochs, lag, and quarantine/resync counters.
+	// (Follower.Status): epochs, terms, lag, and quarantine/resync
+	// counters.
 	ReplicaStatus = replica.Status
+	// ReplicaLagError is the structured error Follower.WaitCaughtUp returns
+	// on timeout, naming the remaining lag in epochs and estimated bytes.
+	ReplicaLagError = replica.LagError
 )
 
 // StartReplica boots a follower: bootstrap from the leader if the
 // directory is empty, recover it otherwise, then tail the leader's WAL
-// until Close.
+// until Close. ReplicaOptions.Leader may be a comma-separated retry list
+// (or use Leaders); the follower rotates to a sibling when its source dies
+// or turns out to be fenced, which is how a survivor re-points to a
+// promoted sibling after failover. Follower.Promote (also reachable as
+// "qpgc promote" and the MsgPromote RPC) turns the follower into the
+// leader: it drains the tail, bumps and fsyncs the durable leader term,
+// and starts accepting writes, while the bumped term fences the old leader
+// on first contact.
 func StartReplica(opts ReplicaOptions) (*Follower, error) { return replica.Start(opts) }
 
 // InstallStoreSnapshot writes a fetched snapshot image into an empty

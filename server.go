@@ -26,6 +26,21 @@ type (
 	// tracks the highest epoch it has observed (ServerClient.LastEpoch)
 	// as its read-your-writes token.
 	ServerClient = server.Client
+	// FailoverClient is a client over an endpoint set that survives leader
+	// failover: on fenced, stale-term or connection errors it rediscovers
+	// the current leader with capped backoff and retries, preserving
+	// read-your-writes across the switch.
+	FailoverClient = server.FailoverClient
+	// FailoverOptions configures DialFailover (endpoint set, per-request
+	// timeout, backoff cap, attempt budget).
+	FailoverOptions = server.FailoverOptions
+	// ServerWireError is a structured server-reported failure: its Code
+	// distinguishes read-only, fenced and stale-term rejections, and
+	// errors.Is matches it against the corresponding sentinels.
+	ServerWireError = server.WireError
+	// Promoter is the optional promotion surface a ServerBackend may
+	// implement — a replica Follower does. See Follower.Promote.
+	Promoter = server.Promoter
 )
 
 // ErrServerReadOnly is returned (over the wire) for writes sent to a
@@ -35,6 +50,22 @@ var ErrServerReadOnly = server.ErrReadOnly
 // ErrSnapshotNeeded reports that a WAL tail position has been truncated
 // away on the leader; the follower must re-bootstrap from a snapshot.
 var ErrSnapshotNeeded = server.ErrSnapshotNeeded
+
+// ErrServerFenced is returned (over the wire) by an endpoint that fenced
+// itself after observing a newer leader term: its history is frozen and it
+// will never accept the write — fail over to the current leader.
+var ErrServerFenced = server.ErrFenced
+
+// ErrServerStaleTerm is returned (over the wire) to a writer carrying a
+// term below the endpoint's: the writer's view of the leadership is
+// outdated and it must rediscover the leader.
+var ErrServerStaleTerm = server.ErrStaleTerm
+
+// DialFailover connects to the best endpoint of a set (the writable one
+// with the highest term) and keeps operating across leader failover.
+func DialFailover(opts FailoverOptions) (*FailoverClient, error) {
+	return server.DialFailover(opts)
+}
 
 // NewStoreBackend adapts a Store for serving.
 func NewStoreBackend(s *Store) ServerBackend { return server.NewStoreBackend(s) }
